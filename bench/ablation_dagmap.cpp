@@ -1,0 +1,52 @@
+// Ablation C (Sec. 3.3): DAG-mapping heuristics. The paper discusses two:
+// decomposing the DAG into trees (DAGON-style; shared logic is charged at
+// every reader) and fanout-count division of the accumulated cost at
+// multi-fanout inputs (MIS-style, adopted by the paper because it preserves
+// multi-fanout points and avoids logic duplication).
+
+#include "bench_util.hpp"
+#include "power/report.hpp"
+#include "util/stats.hpp"
+
+using namespace minpower;
+using namespace minpower::bench;
+
+namespace {
+
+MappedReport run_with_dag(const Network& prepared, DagHeuristic dag,
+                          const Library& lib) {
+  NetworkDecompOptions d;
+  d.algorithm = DecompAlgorithm::kMinPower;
+  const NetworkDecompResult nd = decompose_network(prepared, d);
+  MapOptions m;
+  m.objective = MapObjective::kPower;
+  m.dag = dag;
+  const MapResult r = map_network(nd.network, lib, m);
+  return evaluate_mapped(r.mapped, PowerParams::from(m));
+}
+
+}  // namespace
+
+int main() {
+  const Library& lib = standard_library();
+  std::printf("Ablation — DAG-mapping heuristic (tree-partition charging vs "
+              "fanout division)\n");
+  print_rule();
+  std::printf("%-8s | %9s %9s | %9s %9s\n", "circuit", "tree pwr", "fo pwr",
+              "tree area", "fo area");
+  print_rule();
+  RunningStats pratio;
+  for (const Network& net : prepared_suite()) {
+    const MappedReport tree =
+        run_with_dag(net, DagHeuristic::kTreePartition, lib);
+    const MappedReport fo =
+        run_with_dag(net, DagHeuristic::kFanoutDivision, lib);
+    pratio.add(fo.power_uw / tree.power_uw);
+    std::printf("%-8s | %9.1f %9.1f | %9.0f %9.0f\n", net.name().c_str(),
+                tree.power_uw, fo.power_uw, tree.area, fo.area);
+  }
+  print_rule();
+  std::printf("mean fanout-division / tree-partition power ratio: %.3f\n",
+              pratio.mean());
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+// Shared helpers for the table-reproduction harnesses.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
+#include "library/library.hpp"
+
+namespace minpower::bench {
+
+/// Prepared copies of the 17-circuit suite (rugged-lite applied once).
+inline std::vector<Network> prepared_suite() {
+  std::vector<Network> nets;
+  for (const BenchProfile& p : paper_suite()) {
+    Network net = generate_benchmark(p);
+    prepare_network(net);
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_method_header(const char* title, const char* m1,
+                                const char* m2, const char* m3) {
+  std::printf("%s\n", title);
+  print_rule();
+  std::printf("%-8s", "circuit");
+  for (const char* m : {m1, m2, m3})
+    std::printf(" | %5s %6s %8s", "area", "delay", (std::string(m) + " pwr").c_str());
+  std::printf("\n");
+  print_rule();
+}
+
+inline void print_method_row(const FlowResult& a, const FlowResult& b,
+                             const FlowResult& c) {
+  std::printf("%-8s", a.circuit.c_str());
+  for (const FlowResult* r : {&a, &b, &c})
+    std::printf(" | %5.0f %6.2f %8.1f", r->area, r->delay, r->power_uw);
+  std::printf("\n");
+}
+
+}  // namespace minpower::bench

@@ -1,0 +1,62 @@
+// Glitch-aware evaluation (the measurement model of the paper's Sec. 4):
+// the paper's power numbers come from the Ghosh et al. estimator, whose
+// general delay model includes spurious transitions. This harness re-scores
+// Methods I and V with the event-driven transport-delay simulator and
+// reports the zero-delay vs glitch-inclusive comparison.
+
+#include "bench_util.hpp"
+#include "decomp/network_decompose.hpp"
+#include "power/simulate.hpp"
+#include "util/stats.hpp"
+
+using namespace minpower;
+using namespace minpower::bench;
+
+namespace {
+
+SimPowerReport score(const Network& prepared, DecompAlgorithm algo,
+                     MapObjective obj, const Library& lib) {
+  NetworkDecompOptions d;
+  d.algorithm = algo;
+  const NetworkDecompResult nd = decompose_network(prepared, d);
+  MapOptions m;
+  m.objective = obj;
+  const MapResult r = map_network(nd.network, lib, m);
+  SimPowerParams sp;
+  sp.base = PowerParams::from(m);
+  sp.num_vector_pairs = 192;
+  return simulate_power(r.mapped, sp);
+}
+
+}  // namespace
+
+int main() {
+  const Library& lib = standard_library();
+  std::printf("Glitch-aware power (event-driven simulation, 192 vector "
+              "pairs) — Method I vs Method V\n");
+  print_rule(86);
+  std::printf("%-8s | %10s %10s %7s | %10s %10s %7s | %7s\n", "circuit",
+              "I zd(uW)", "I sim(uW)", "glitch", "V zd(uW)", "V sim(uW)",
+              "glitch", "V/I sim");
+  print_rule(86);
+  RunningStats sim_gain;
+  RunningStats zd_gain;
+  for (const Network& net : prepared_suite()) {
+    const SimPowerReport i =
+        score(net, DecompAlgorithm::kBalanced, MapObjective::kArea, lib);
+    const SimPowerReport v =
+        score(net, DecompAlgorithm::kMinPower, MapObjective::kPower, lib);
+    sim_gain.add(v.power_uw / i.power_uw);
+    zd_gain.add(v.zero_delay_uw / i.zero_delay_uw);
+    std::printf("%-8s | %10.1f %10.1f %7.2f | %10.1f %10.1f %7.2f | %7.3f\n",
+                net.name().c_str(), i.zero_delay_uw, i.power_uw,
+                i.glitch_factor, v.zero_delay_uw, v.power_uw, v.glitch_factor,
+                v.power_uw / i.power_uw);
+  }
+  print_rule(86);
+  std::printf("mean V/I power ratio: zero-delay %.3f, glitch-aware %.3f\n",
+              zd_gain.mean(), sim_gain.mean());
+  std::printf("(the paper's ~22%% gap was measured with a glitch-aware "
+              "estimator of this kind)\n");
+  return 0;
+}

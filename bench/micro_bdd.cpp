@@ -1,0 +1,53 @@
+// Micro-benchmarks: the probability substrate — global BDD construction and
+// the Eq. 2 linear probability traversal on suite circuits.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
+#include "prob/probability.hpp"
+
+using namespace minpower;
+
+namespace {
+
+Network circuit(const std::string& name) {
+  Network net = make_benchmark(name);
+  prepare_network(net);
+  return net;
+}
+
+void BM_NetworkBddBuild(benchmark::State& state) {
+  const Network net = circuit(state.range(0) == 0 ? "x2" : "s510");
+  for (auto _ : state) {
+    BddManager mgr;
+    benchmark::DoNotOptimize(NetworkBdds(mgr, net));
+  }
+}
+BENCHMARK(BM_NetworkBddBuild)->Arg(0)->Arg(1);
+
+void BM_SignalProbabilities(benchmark::State& state) {
+  const Network net = circuit(state.range(0) == 0 ? "x2" : "s510");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(signal_probabilities(net));
+}
+BENCHMARK(BM_SignalProbabilities)->Arg(0)->Arg(1);
+
+void BM_EquivalenceCheck(benchmark::State& state) {
+  const Network net = circuit("s344");
+  const Network copy = net.duplicate();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(networks_equivalent(net, copy));
+}
+BENCHMARK(BM_EquivalenceCheck);
+
+void BM_FullMethodV(benchmark::State& state) {
+  const Network net = circuit("x2");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_method(net, Method::kV, standard_library()));
+}
+BENCHMARK(BM_FullMethodV);
+
+}  // namespace
+
+BENCHMARK_MAIN();

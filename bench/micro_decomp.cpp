@@ -1,0 +1,80 @@
+// Micro-benchmarks: algorithmic scaling of the tree-construction kernels
+// (Huffman O(n log n), Modified Huffman O(n² log n), bounded-height
+// greedy family, exact package-merge O(nL)).
+
+#include <benchmark/benchmark.h>
+
+#include "decomp/huffman.hpp"
+#include "decomp/package_merge.hpp"
+#include "decomp/transition_model.hpp"
+#include "util/rng.hpp"
+
+using namespace minpower;
+
+namespace {
+
+std::vector<double> probs(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (double& x : p) x = rng.uniform(0.05, 0.95);
+  return p;
+}
+
+void BM_Huffman(benchmark::State& state) {
+  const auto p = probs(static_cast<int>(state.range(0)), 1);
+  const DecompModel model(GateType::kAnd, CircuitStyle::kDynamicP);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(huffman_tree(p, model));
+}
+BENCHMARK(BM_Huffman)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ModifiedHuffman(benchmark::State& state) {
+  const auto p = probs(static_cast<int>(state.range(0)), 2);
+  const DecompModel model(GateType::kAnd, CircuitStyle::kStatic);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(modified_huffman_tree(p, model));
+}
+BENCHMARK(BM_ModifiedHuffman)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BoundedHeightMinpower(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = probs(n, 3);
+  const DecompModel model(GateType::kAnd, CircuitStyle::kStatic);
+  const int bound = balanced_height(n) + 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bounded_height_minpower_tree(p, bound, model));
+}
+BENCHMARK(BM_BoundedHeightMinpower)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_PackageMergeMinsum(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto p = probs(n, 4);
+  const int bound = balanced_height(n) + 2;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(length_limited_levels(p, bound));
+}
+BENCHMARK(BM_PackageMergeMinsum)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ExhaustiveOracle(benchmark::State& state) {
+  const auto p = probs(static_cast<int>(state.range(0)), 5);
+  const DecompModel model(GateType::kAnd, CircuitStyle::kStatic);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(best_tree_exhaustive(p, model));
+}
+BENCHMARK(BM_ExhaustiveOracle)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_TransitionModifiedHuffman(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<SignalTransition> s;
+  for (int i = 0; i < n; ++i)
+    s.push_back(SignalTransition::independent(rng.uniform(0.1, 0.9)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        modified_huffman_transitions(s, GateType::kAnd));
+}
+BENCHMARK(BM_TransitionModifiedHuffman)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

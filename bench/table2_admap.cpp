@@ -1,0 +1,28 @@
+// Reproduces Table 2: area-delay mapping (the Chaudhary–Pedram baseline)
+// under the three decomposition schemes.
+//   Method I   — conventional (balanced) decomposition
+//   Method II  — MINPOWER decomposition
+//   Method III — BOUNDED-HEIGHT MINPOWER decomposition
+// Columns per method: gate area, delay (ns), average power (µW) at 20 MHz,
+// Vdd = 5 V, static CMOS, independent inputs with probability 0.5.
+
+#include "bench_util.hpp"
+
+using namespace minpower;
+using namespace minpower::bench;
+
+int main() {
+  const Library& lib = standard_library();
+  print_method_header(
+      "Table 2 — ad-map with {conventional | minpower | bh-minpower} "
+      "decomposition",
+      "I", "II", "III");
+  for (const Network& net : prepared_suite()) {
+    const FlowResult r1 = run_method(net, Method::kI, lib);
+    const FlowResult r2 = run_method(net, Method::kII, lib);
+    const FlowResult r3 = run_method(net, Method::kIII, lib);
+    print_method_row(r1, r2, r3);
+  }
+  print_rule();
+  return 0;
+}

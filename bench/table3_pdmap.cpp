@@ -1,0 +1,26 @@
+// Reproduces Table 3: power-delay mapping (this paper's mapper) under the
+// three decomposition schemes.
+//   Method IV — conventional (balanced) decomposition
+//   Method V  — MINPOWER decomposition
+//   Method VI — BOUNDED-HEIGHT MINPOWER decomposition
+
+#include "bench_util.hpp"
+
+using namespace minpower;
+using namespace minpower::bench;
+
+int main() {
+  const Library& lib = standard_library();
+  print_method_header(
+      "Table 3 — pd-map with {conventional | minpower | bh-minpower} "
+      "decomposition",
+      "IV", "V", "VI");
+  for (const Network& net : prepared_suite()) {
+    const FlowResult r4 = run_method(net, Method::kIV, lib);
+    const FlowResult r5 = run_method(net, Method::kV, lib);
+    const FlowResult r6 = run_method(net, Method::kVI, lib);
+    print_method_row(r4, r5, r6);
+  }
+  print_rule();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Walk through the paper's Section 2 machinery on a single node: show how
+// the Huffman / Modified Huffman / bounded-height algorithms shape the
+// decomposition tree of an 6-input AND under different circuit styles and
+// input probabilities (the Figure 1 idea, generalized).
+
+#include <cstdio>
+#include <string>
+
+#include "decomp/huffman.hpp"
+#include "decomp/package_merge.hpp"
+
+using namespace minpower;
+
+namespace {
+
+std::string shape(const DecompTree& t, int node) {
+  const DecompTree::TNode& n = t.nodes[static_cast<std::size_t>(node)];
+  if (n.is_leaf()) return std::string(1, static_cast<char>('a' + n.leaf));
+  return "(" + shape(t, n.left) + "·" + shape(t, n.right) + ")";
+}
+
+void show(const char* label, const DecompTree& t, const DecompModel& m,
+          const std::vector<double>& p) {
+  std::printf("  %-22s %-34s cost %.4f  height %d\n", label,
+              shape(t, t.root).c_str(), t.internal_cost(m, p), t.height());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> p{0.02, 0.10, 0.35, 0.50, 0.80, 0.95};
+  std::printf("decomposing AND(a..f) with P(1) = ");
+  for (double x : p) std::printf("%.2f ", x);
+  std::printf("\n\n");
+
+  {
+    std::printf("p-type domino (Algorithm 2.1 is optimal — Theorem 2.2):\n");
+    const DecompModel m(GateType::kAnd, CircuitStyle::kDynamicP);
+    show("huffman", huffman_tree(p, m), m, p);
+    show("exhaustive optimum", best_tree_exhaustive(p, m), m, p);
+    for (int L = 5; L >= 3; --L) {
+      const DecompTree t = bounded_height_minpower_tree(p, L, m);
+      show(("bounded height L=" + std::to_string(L)).c_str(), t, m, p);
+    }
+  }
+  std::printf("\n");
+  {
+    std::printf("static CMOS (Algorithm 2.2 — Modified Huffman):\n");
+    const DecompModel m(GateType::kAnd, CircuitStyle::kStatic);
+    show("modified huffman", modified_huffman_tree(p, m), m, p);
+    show("exhaustive optimum", best_tree_exhaustive(p, m), m, p);
+    show("plain huffman", huffman_tree(p, m), m, p);
+    for (int L = 5; L >= 3; --L) {
+      const DecompTree t = bounded_height_minpower_tree(p, L, m);
+      show(("bounded height L=" + std::to_string(L)).c_str(), t, m, p);
+    }
+  }
+  std::printf("\n");
+  {
+    std::printf("correlated inputs (Eqs. 7-9): a and b never high together\n");
+    const DecompModel m(GateType::kAnd, CircuitStyle::kDynamicP);
+    std::vector<double> q{0.5, 0.5, 0.2, 0.9};
+    JointProbabilities joints = JointProbabilities::independent(q);
+    joints.set(0, 1, 0.0);  // P(a ∧ b) = 0: the AND of the pair never fires
+    const DecompTree t = modified_huffman_correlated(joints, m);
+    std::printf("  correlation-aware tree %s  (pairs the anti-correlated "
+                "signals first)\n",
+                shape(t, t.root).c_str());
+    const DecompTree ti = modified_huffman_tree(q, m);
+    std::printf("  independence-assuming  %s\n", shape(ti, ti.root).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Correlated-input scenario from the paper's introduction and Sec. 5: an
+// instruction decoder whose inputs are opcode bits, "the correlations can
+// be obtained from the opcode/state assignment".
+//
+// We build a small one-hot decoder over a 4-bit opcode field plus a mode
+// bit, specify the opcode mix as a weighted pattern set (a realistic ISA
+// profile: loads/stores dominate), and compare:
+//   * independent-model MINPOWER decomposition using only the marginal bit
+//     probabilities, vs.
+//   * correlation-aware decomposition (Eqs. 7–9 with exact pairwise joints
+//     from the pattern distribution),
+// both scored under the true distribution.
+
+#include <cstdio>
+
+#include "decomp/network_decompose.hpp"
+#include "prob/pattern_model.hpp"
+#include "prob/probability.hpp"
+
+using namespace minpower;
+
+namespace {
+
+Network build_decoder() {
+  Network net("decoder");
+  std::vector<NodeId> op;
+  for (int i = 0; i < 4; ++i) op.push_back(net.add_pi("op" + std::to_string(i)));
+  const NodeId mode = net.add_pi("mode");
+
+  // One-hot select lines for 6 instruction classes + an illegal-op trap.
+  auto minterm = [&](int code, bool with_mode) {
+    Cube c;
+    for (int b = 0; b < 4; ++b)
+      c = c & Cube::literal(b, ((code >> b) & 1) != 0);
+    if (with_mode) c = c & Cube::literal(4, true);
+    return c;
+  };
+  struct Def {
+    const char* name;
+    std::vector<int> codes;  // one cube per opcode in the class
+    bool uses_mode;
+  };
+  const std::vector<Def> defs = {
+      {"sel_load", {0b0001}, false},
+      {"sel_store", {0b0010}, false},
+      {"sel_mem", {0b0001, 0b0010}, false},          // load | store
+      {"sel_ctl", {0b1000, 0b1111}, false},          // branch | sys
+      {"sel_exec", {0b0100, 0b1000, 0b1111}, false}, // alu | branch | sys
+      {"sel_sys", {0b1111}, true},
+      {"sel_nop", {0b0000}, false},
+  };
+  for (const Def& d : defs) {
+    std::vector<NodeId> fanins = op;
+    fanins.push_back(mode);
+    Cover cover;
+    for (int code : d.codes) cover.add(minterm(code, d.uses_mode));
+    cover.normalize();
+    net.add_po(d.name, net.add_node(fanins, cover,
+                                    std::string("n_") + d.name));
+  }
+  return net;
+}
+
+PatternModel isa_profile(const Network& net) {
+  // Opcode mix: loads 30%, stores 20%, alu 25%, branch 15%, sys 4%, nop 6%.
+  // Bits are strongly correlated: only 6 of the 32 input vectors ever occur.
+  auto pattern = [&](int code, bool mode, double w) {
+    InputPattern p;
+    p.weight = w;
+    for (int b = 0; b < 4; ++b) p.values.push_back(((code >> b) & 1) != 0);
+    p.values.push_back(mode);
+    return p;
+  };
+  std::vector<InputPattern> ps;
+  ps.push_back(pattern(0b0001, false, 0.30));
+  ps.push_back(pattern(0b0010, false, 0.20));
+  ps.push_back(pattern(0b0100, false, 0.25));
+  ps.push_back(pattern(0b1000, false, 0.15));
+  ps.push_back(pattern(0b1111, true, 0.04));
+  ps.push_back(pattern(0b0000, false, 0.06));
+  return PatternModel(net, std::move(ps));
+}
+
+double true_activity(const Network& nand_net, const PatternModel& src) {
+  std::vector<InputPattern> ps;
+  for (const InputPattern& p : src.patterns()) ps.push_back(p);
+  const PatternModel m(nand_net, std::move(ps));
+  const auto probs = m.all_probabilities();
+  double total = 0.0;
+  for (NodeId id = 0; id < static_cast<NodeId>(nand_net.capacity()); ++id)
+    if (nand_net.node(id).is_internal())
+      total += switching_activity(probs[static_cast<std::size_t>(id)],
+                                  CircuitStyle::kStatic);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  Network net = build_decoder();
+  const PatternModel model = isa_profile(net);
+
+  std::printf("instruction decoder: %zu PIs, %zu select lines\n",
+              net.pis().size(), net.pos().size());
+  std::printf("opcode bit marginals under the ISA profile:");
+  for (NodeId pi : net.pis()) std::printf(" %.2f", model.probability(pi));
+  std::printf("\n\n");
+
+  NetworkDecompOptions ind;
+  ind.style = CircuitStyle::kStatic;
+  for (NodeId pi : net.pis()) ind.pi_prob1.push_back(model.probability(pi));
+  const auto r_ind = decompose_network(net, ind);
+
+  NetworkDecompOptions corr = ind;
+  corr.pi_prob1.clear();
+  corr.correlations = &model;
+  const auto r_corr = decompose_network(net, corr);
+
+  const double a_ind = true_activity(r_ind.network, model);
+  const double a_corr = true_activity(r_corr.network, model);
+  std::printf("%-34s %10s %12s\n", "decomposition", "NAND nodes",
+              "activity*");
+  std::printf("%-34s %10zu %12.4f\n", "independent marginals",
+              r_ind.network.num_internal(), a_ind);
+  std::printf("%-34s %10zu %12.4f\n", "correlation-aware (Eqs. 7-9)",
+              r_corr.network.num_internal(), a_corr);
+  std::printf("\n* total switching activity of the NAND network under the "
+              "true opcode distribution\n");
+  if (a_corr <= a_ind)
+    std::printf("correlation-aware decomposition saves %.1f%% activity\n",
+                100.0 * (a_ind - a_corr) / a_ind);
+  else
+    std::printf("note: heuristic joint propagation lost %.1f%% on this "
+                "instance\n",
+                100.0 * (a_corr - a_ind) / a_ind);
+  return 0;
+}

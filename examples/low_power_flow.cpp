@@ -1,0 +1,49 @@
+// Compare the conventional flow (balanced decomposition + area-delay
+// mapping, Method I) against the paper's low-power flow (MINPOWER
+// decomposition + power-delay mapping, Method V) on one circuit — the
+// scenario the paper's introduction motivates: a designer willing to trade
+// some area for battery life in an embedded system.
+//
+// Usage: low_power_flow [circuit-name]   (default: apex7; see DESIGN.md for
+// the 17 available circuit names)
+
+#include <cstdio>
+#include <string>
+
+#include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
+#include "util/stats.hpp"
+
+using namespace minpower;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "apex7";
+  Network net = make_benchmark(name);
+  prepare_network(net);
+  std::printf("circuit %s: %zu PIs, %zu POs, %zu optimized nodes\n\n",
+              name.c_str(), net.pis().size(), net.pos().size(),
+              net.num_internal());
+
+  const Library& lib = standard_library();
+  const FlowResult conventional = run_method(net, Method::kI, lib);
+  const FlowResult low_power = run_method(net, Method::kV, lib);
+
+  std::printf("%-26s %10s %10s\n", "", "Method I", "Method V");
+  std::printf("%-26s %10s %10s\n", "", "(ad-map)", "(pd-map+minpower)");
+  std::printf("%-26s %10.0f %10.0f\n", "gate area", conventional.area,
+              low_power.area);
+  std::printf("%-26s %10.2f %10.2f\n", "delay (ns)", conventional.delay,
+              low_power.delay);
+  std::printf("%-26s %10.1f %10.1f\n", "average power (uW)",
+              conventional.power_uw, low_power.power_uw);
+  std::printf("%-26s %10zu %10zu\n", "gates", conventional.gates,
+              low_power.gates);
+  std::printf("%-26s %10.3f %10.3f\n", "decomposition activity",
+              conventional.tree_activity, low_power.tree_activity);
+
+  std::printf("\nlow-power flow: %+.1f%% power, %+.1f%% area, %+.1f%% delay\n",
+              percent_change(conventional.power_uw, low_power.power_uw),
+              percent_change(conventional.area, low_power.area),
+              percent_change(conventional.delay, low_power.delay));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: read a BLIF circuit, run the full low-power synthesis flow
+// (technology-independent cleanup → MINPOWER NAND decomposition →
+// power-delay technology mapping), and print the mapped netlist report.
+//
+// Usage: quickstart [file.blif]
+// With no argument a built-in example circuit is used.
+
+#include <cstdio>
+#include <string>
+
+#include "decomp/network_decompose.hpp"
+#include "flow/flow.hpp"
+#include "io/blif.hpp"
+#include "map/mapper.hpp"
+#include "power/report.hpp"
+
+using namespace minpower;
+
+namespace {
+
+const char kExampleBlif[] = R"(
+.model majority5
+.inputs a b c d e
+.outputs maj carry
+.names a b c d e maj
+111-- 1
+11-1- 1
+11--1 1
+1-11- 1
+1-1-1 1
+1--11 1
+-111- 1
+-11-1 1
+-1-11 1
+--111 1
+.names a b carry
+11 1
+.end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 1. Load a circuit.
+  Network net = argc > 1 ? read_blif_file(argv[1])
+                         : read_blif_string(kExampleBlif);
+  std::printf("circuit %-12s: %zu PIs, %zu POs, %zu nodes, %d literals\n",
+              net.name().c_str(), net.pis().size(), net.pos().size(),
+              net.num_internal(), net.num_literals());
+
+  // 2. Technology-independent preconditioning (rugged-lite).
+  prepare_network(net);
+  std::printf("after rugged-lite   : %zu nodes, %d literals, depth %d\n",
+              net.num_internal(), net.num_literals(), net.depth());
+
+  // 3. Power-efficient NAND decomposition (Section 2 of the paper).
+  NetworkDecompOptions d;
+  d.style = CircuitStyle::kStatic;
+  d.algorithm = DecompAlgorithm::kMinPower;
+  d.bounded_height = true;  // keep the conventional decomposition's depth
+  const NetworkDecompResult nd = decompose_network(net, d);
+  std::printf("NAND decomposition  : %zu NAND2/INV nodes, depth %d, "
+              "tree activity %.3f\n",
+              nd.network.num_internal(), nd.unit_depth, nd.tree_activity);
+
+  // 4. Power-delay technology mapping (Section 3).
+  MapOptions m;
+  m.objective = MapObjective::kPower;
+  const MapResult mapped = map_network(nd.network, standard_library(), m);
+
+  // 5. Report.
+  const MappedReport rep =
+      evaluate_mapped(mapped.mapped, PowerParams::from(m));
+  std::printf("mapped              : %zu gates, area %.0f, delay %.2f ns, "
+              "average power %.1f uW (20 MHz, 5 V)\n",
+              rep.num_gates, rep.area, rep.delay, rep.power_uw);
+  std::printf("\ngate assignment:\n");
+  for (const MappedGateInst& g : mapped.mapped.gates) {
+    std::printf("  %-8s ->", g.gate->name.c_str());
+    for (NodeId s : g.pin_nodes)
+      std::printf(" %s", nd.network.node(s).name.c_str());
+    std::printf("  (drives %s)\n", nd.network.node(g.root).name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+namespace minpower {
+
+BddManager::BddManager(std::size_t node_limit) : node_limit_(node_limit) {
+  nodes_.push_back(BddNode{kLeafVar, kFalse, kFalse});  // 0 = false
+  nodes_.push_back(BddNode{kLeafVar, kTrue, kTrue});    // 1 = true
+}
+
+BddRef BddManager::var(int index) {
+  MP_CHECK(index >= 0);
+  while (num_vars_ <= index) {
+    var_nodes_.push_back(make(num_vars_, kFalse, kTrue));
+    ++num_vars_;
+  }
+  return var_nodes_[static_cast<std::size_t>(index)];
+}
+
+BddRef BddManager::make(int var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const UniqueKey key{var, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  MP_CHECK_MSG(nodes_.size() < node_limit_, "BDD node limit exceeded");
+  const BddRef id = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(BddNode{var, lo, hi});
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int vf = nodes_[f].var;
+  const int vg = is_const(g) ? kLeafVar : nodes_[g].var;
+  const int vh = is_const(h) ? kLeafVar : nodes_[h].var;
+  const int v = std::min({vf, vg, vh});
+
+  const BddRef f0 = (vf == v) ? nodes_[f].lo : f;
+  const BddRef f1 = (vf == v) ? nodes_[f].hi : f;
+  const BddRef g0 = (vg == v) ? nodes_[g].lo : g;
+  const BddRef g1 = (vg == v) ? nodes_[g].hi : g;
+  const BddRef h0 = (vh == v) ? nodes_[h].lo : h;
+  const BddRef h1 = (vh == v) ? nodes_[h].hi : h;
+
+  const BddRef lo = ite(f0, g0, h0);
+  const BddRef hi = ite(f1, g1, h1);
+  const BddRef out = make(v, lo, hi);
+  ite_cache_.emplace(key, out);
+  return out;
+}
+
+BddRef BddManager::cofactor(BddRef f, int var, bool value) {
+  if (is_const(f)) return f;
+  const int v = nodes_[f].var;
+  if (v > var) return f;
+  if (v == var) return value ? nodes_[f].hi : nodes_[f].lo;
+  // v < var: recurse on both branches. Memoize through ite by building with
+  // a local cache; depth is bounded by variable count.
+  const BddRef lo = cofactor(nodes_[f].lo, var, value);
+  const BddRef hi = cofactor(nodes_[f].hi, var, value);
+  return make(v, lo, hi);
+}
+
+bool BddManager::eval(BddRef f, const std::vector<bool>& assignment) const {
+  while (!is_const(f)) {
+    const BddNode& n = nodes_[f];
+    MP_CHECK(n.var < static_cast<int>(assignment.size()));
+    f = assignment[static_cast<std::size_t>(n.var)] ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+double BddManager::probability(BddRef f, const std::vector<double>& p1) const {
+  // Post-order evaluation: P(node) = p(var)·P(hi) + (1−p(var))·P(lo). Eq. 2.
+  std::unordered_map<BddRef, double> memo;
+  memo.reserve(64);
+  // Iterative DFS to avoid deep recursion on path-like BDDs.
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    if (r == kFalse || r == kTrue || memo.contains(r)) {
+      stack.pop_back();
+      continue;
+    }
+    const BddNode& n = nodes_[r];
+    const bool lo_ready = n.lo <= kTrue || memo.contains(n.lo);
+    const bool hi_ready = n.hi <= kTrue || memo.contains(n.hi);
+    if (lo_ready && hi_ready) {
+      const double plo = n.lo <= kTrue ? static_cast<double>(n.lo) : memo[n.lo];
+      const double phi = n.hi <= kTrue ? static_cast<double>(n.hi) : memo[n.hi];
+      MP_CHECK(n.var < static_cast<int>(p1.size()));
+      const double pv = p1[static_cast<std::size_t>(n.var)];
+      memo[r] = pv * phi + (1.0 - pv) * plo;
+      stack.pop_back();
+    } else {
+      if (!lo_ready) stack.push_back(n.lo);
+      if (!hi_ready) stack.push_back(n.hi);
+    }
+  }
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  return memo[f];
+}
+
+std::vector<int> BddManager::support(BddRef f) const {
+  std::vector<bool> seen_var(static_cast<std::size_t>(num_vars_), false);
+  std::unordered_map<BddRef, bool> visited;
+  std::vector<BddRef> stack{f};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= kTrue || visited[r]) continue;
+    visited[r] = true;
+    seen_var[static_cast<std::size_t>(nodes_[r].var)] = true;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  std::vector<int> out;
+  for (int v = 0; v < num_vars_; ++v)
+    if (seen_var[static_cast<std::size_t>(v)]) out.push_back(v);
+  return out;
+}
+
+std::size_t BddManager::dag_size(BddRef f) const {
+  std::unordered_map<BddRef, bool> visited;
+  std::vector<BddRef> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= kTrue || visited[r]) continue;
+    visited[r] = true;
+    ++count;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return count;
+}
+
+}  // namespace minpower

@@ -1,0 +1,112 @@
+#pragma once
+// Reduced Ordered Binary Decision Diagram package.
+//
+// Used for (a) exact signal-probability computation at every network node by
+// the linear BDD traversal of Eq. 2 (Najm / Ghosh et al.), and (b) functional
+// equivalence checking of synthesis transformations in the test suite.
+//
+// The implementation is a classic hash-consed ROBDD without complement
+// edges: a unique table guarantees canonicity, an ITE computed table caches
+// subresults. Variable order is the creation order of variables.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace minpower {
+
+using BddRef = std::uint32_t;
+
+class BddManager {
+ public:
+  /// `node_limit` bounds total allocated BDD nodes; exceeding it aborts
+  /// (synthesis-sized circuits stay far below the default).
+  explicit BddManager(std::size_t node_limit = 60'000'000);
+
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  /// Create (or fetch) the projection function of a new/existing variable.
+  BddRef var(int index);
+  int num_vars() const { return num_vars_; }
+
+  BddRef not_(BddRef f) { return ite(f, kFalse, kTrue); }
+  BddRef and_(BddRef f, BddRef g) { return ite(f, g, kFalse); }
+  BddRef or_(BddRef f, BddRef g) { return ite(f, kTrue, g); }
+  BddRef xor_(BddRef f, BddRef g) { return ite(f, not_(g), g); }
+  BddRef nand_(BddRef f, BddRef g) { return not_(and_(f, g)); }
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  /// Shannon cofactor with respect to variable `var` fixed to `value`.
+  BddRef cofactor(BddRef f, int var, bool value);
+
+  bool is_const(BddRef f) const { return f <= kTrue; }
+  int top_var(BddRef f) const { return nodes_[f].var; }
+  BddRef low(BddRef f) const { return nodes_[f].lo; }
+  BddRef high(BddRef f) const { return nodes_[f].hi; }
+
+  /// Evaluate under a variable assignment (indexed by variable).
+  bool eval(BddRef f, const std::vector<bool>& assignment) const;
+
+  /// Exact probability that f = 1 when variable v independently equals 1
+  /// with probability `p1[v]` (the Eq. 2 linear traversal; O(|BDD|)).
+  double probability(BddRef f, const std::vector<double>& p1) const;
+
+  /// Variables in the support of f.
+  std::vector<int> support(BddRef f) const;
+
+  /// Number of distinct internal nodes reachable from f.
+  std::size_t dag_size(BddRef f) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Drop the operation cache (unique table is kept; refs stay valid).
+  void clear_op_cache() { ite_cache_.clear(); }
+
+ private:
+  struct BddNode {
+    int var;  // kLeafVar for terminals
+    BddRef lo;
+    BddRef hi;
+  };
+  static constexpr int kLeafVar = 0x7fffffff;
+
+  struct UniqueKey {
+    int var;
+    BddRef lo;
+    BddRef hi;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const {
+      std::uint64_t h = static_cast<std::uint64_t>(k.var) * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<std::uint64_t>(k.lo) << 32 | k.hi) + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h * 0xff51afd7ed558ccdULL);
+    }
+  };
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t h = k.f * 0x9e3779b97f4a7c15ULL;
+      h = (h ^ k.g) * 0xff51afd7ed558ccdULL;
+      h = (h ^ k.h) * 0xc4ceb9fe1a85ec53ULL;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  BddRef make(int var, BddRef lo, BddRef hi);
+
+  std::size_t node_limit_;
+  int num_vars_ = 0;
+  std::vector<BddNode> nodes_;
+  std::vector<BddRef> var_nodes_;
+  std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+};
+
+}  // namespace minpower

@@ -1,0 +1,75 @@
+#include "bdd/isop.hpp"
+
+#include <map>
+
+namespace minpower {
+
+namespace {
+
+struct IsopResult {
+  Cover cover;
+  BddRef function;  // BDD of `cover`
+};
+
+class IsopBuilder {
+ public:
+  explicit IsopBuilder(BddManager& mgr) : mgr_(mgr) {}
+
+  IsopResult run(BddRef lower, BddRef upper) {
+    if (lower == BddManager::kFalse) return {Cover::zero(), BddManager::kFalse};
+    if (upper == BddManager::kTrue) return {Cover::one(), BddManager::kTrue};
+    const auto key = std::make_pair(lower, upper);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    // Top variable of the pair.
+    const int vl = mgr_.is_const(lower) ? 0x7fffffff : mgr_.top_var(lower);
+    const int vu = mgr_.is_const(upper) ? 0x7fffffff : mgr_.top_var(upper);
+    const int v = std::min(vl, vu);
+    MP_CHECK(v < kMaxCubeVars);
+
+    const BddRef l0 = mgr_.cofactor(lower, v, false);
+    const BddRef l1 = mgr_.cofactor(lower, v, true);
+    const BddRef u0 = mgr_.cofactor(upper, v, false);
+    const BddRef u1 = mgr_.cofactor(upper, v, true);
+
+    // Cubes that need the literal ¬v / v.
+    const IsopResult r0 = run(mgr_.and_(l0, mgr_.not_(u1)), u0);
+    const IsopResult r1 = run(mgr_.and_(l1, mgr_.not_(u0)), u1);
+
+    // What remains must be covered by cubes without a v literal.
+    const BddRef ld = mgr_.or_(mgr_.and_(l0, mgr_.not_(r0.function)),
+                               mgr_.and_(l1, mgr_.not_(r1.function)));
+    const IsopResult rd = run(ld, mgr_.and_(u0, u1));
+
+    IsopResult out;
+    out.cover = rd.cover;
+    for (const Cube& c : r0.cover.cubes())
+      out.cover.add(c & Cube::literal(v, false));
+    for (const Cube& c : r1.cover.cubes())
+      out.cover.add(c & Cube::literal(v, true));
+    const BddRef x = mgr_.var(v);
+    out.function = mgr_.or_(
+        rd.function, mgr_.or_(mgr_.and_(mgr_.not_(x), r0.function),
+                              mgr_.and_(x, r1.function)));
+    memo_.emplace(key, out);
+    return out;
+  }
+
+ private:
+  BddManager& mgr_;
+  std::map<std::pair<BddRef, BddRef>, IsopResult> memo_;
+};
+
+}  // namespace
+
+Cover isop(BddManager& mgr, BddRef lower, BddRef upper) {
+  IsopBuilder builder(mgr);
+  const IsopResult r = builder.run(lower, upper);
+  // Contract: L ≤ g ≤ U.
+  MP_CHECK(mgr.and_(lower, mgr.not_(r.function)) == BddManager::kFalse);
+  MP_CHECK(mgr.and_(r.function, mgr.not_(upper)) == BddManager::kFalse);
+  return r.cover;
+}
+
+}  // namespace minpower

@@ -1,0 +1,22 @@
+#pragma once
+// Irredundant sum-of-products from a BDD interval (Minato–Morreale).
+//
+// isop(L, U) returns a cover g with L ≤ g ≤ U in which no cube is redundant
+// (dropping any cube breaks L ≤ g). With L = U = f this is an irredundant
+// SOP of f — the node simplification step of the technology-independent
+// phase ("node simplification" in the paper's Sec. 5 and in the SIS rugged
+// script our substrate mirrors).
+
+#include "bdd/bdd.hpp"
+#include "sop/cover.hpp"
+
+namespace minpower {
+
+/// BDD variables index cover variables directly (var v ↦ Cube literal v);
+/// all support variables must be < kMaxCubeVars.
+Cover isop(BddManager& mgr, BddRef lower, BddRef upper);
+
+/// Irredundant SOP of a function.
+inline Cover isop(BddManager& mgr, BddRef f) { return isop(mgr, f, f); }
+
+}  // namespace minpower

@@ -1,0 +1,251 @@
+#include "benchgen/benchgen.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace minpower {
+
+namespace {
+
+Cube lit_cube(int v, bool pos) { return Cube::literal(v, pos); }
+
+/// Random non-constant cover over `k` variables.
+Cover random_sop(Rng& rng, int k, int max_cubes) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int cubes = static_cast<int>(rng.range(1, max_cubes));
+    Cover cover;
+    for (int c = 0; c < cubes; ++c) {
+      std::uint64_t pos = 0;
+      std::uint64_t neg = 0;
+      // Each variable joins the cube with probability ~0.6, random phase.
+      int lits = 0;
+      for (int v = 0; v < k; ++v) {
+        if (!rng.coin(0.6)) continue;
+        ++lits;
+        if (rng.coin()) pos |= std::uint64_t{1} << v;
+        else neg |= std::uint64_t{1} << v;
+      }
+      if (lits == 0) {  // force at least one literal
+        const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+        if (rng.coin()) pos |= std::uint64_t{1} << v;
+        else neg |= std::uint64_t{1} << v;
+      }
+      cover.add(Cube{pos, neg});
+    }
+    cover.normalize();
+    if (cover.is_zero() || cover.is_one() || cover.support() == 0) continue;
+    // Keep only reasonably balanced functions: heavily skewed random SOPs
+    // drift toward constants as they compose, and the sweep's semantic
+    // constant detection then collapses whole regions of the network.
+    if (k <= 8) {
+      int ones = 0;
+      const int total = 1 << k;
+      for (int m = 0; m < total; ++m)
+        if (cover.eval(static_cast<std::uint64_t>(m))) ++ones;
+      const double p = static_cast<double>(ones) / total;
+      if (p < 0.10 || p > 0.90) continue;
+    }
+    return cover;
+  }
+  // Fallback: a single positive literal.
+  return Cover::literal(0, true);
+}
+
+/// A node function chosen from a mix of templates. Pure random SOPs over
+/// already-skewed signals drift toward constant functions and collapse under
+/// optimization; real circuits are full of parity/select/majority structure
+/// whose outputs stay balanced. The template mix keeps generated networks
+/// optimization-resistant, like their MCNC counterparts.
+Cover random_cover(Rng& rng, int k, int max_cubes) {
+  const double roll = rng.uniform();
+  if (roll < 0.15 && k >= 2) {
+    // XOR / XNOR of two variables (conjoined with a third when available).
+    const bool odd = rng.coin();
+    Cover x{{lit_cube(0, true) & lit_cube(1, !odd),
+             lit_cube(0, false) & lit_cube(1, odd)}};
+    if (k >= 3 && rng.coin(0.5)) {
+      // (v0 ⊕ v1) gated by v2: keeps support wide, still balanced-ish.
+      x = Cover::conjunction(x, Cover::literal(2, rng.coin()));
+      x = Cover::disjunction(
+          x, Cover{{lit_cube(0, odd) & lit_cube(1, odd) & lit_cube(2, false)}});
+      x.normalize();
+    }
+    return x;
+  }
+  if (roll < 0.24 && k >= 3) {
+    // 2:1 MUX — v2 selects between v0 and v1 (random input phases).
+    Cover m{{lit_cube(2, true) & lit_cube(0, rng.coin()),
+             lit_cube(2, false) & lit_cube(1, rng.coin())}};
+    m.normalize();
+    return m;
+  }
+  if (roll < 0.30 && k >= 3) {
+    // Majority of three (random phases).
+    const bool pa = rng.coin();
+    const bool pb = rng.coin();
+    const bool pc = rng.coin();
+    Cover m{{lit_cube(0, pa) & lit_cube(1, pb),
+             lit_cube(1, pb) & lit_cube(2, pc),
+             lit_cube(0, pa) & lit_cube(2, pc)}};
+    m.normalize();
+    return m;
+  }
+  return random_sop(rng, k, max_cubes);
+}
+
+}  // namespace
+
+Network generate_benchmark(const BenchProfile& p) {
+  MP_CHECK(p.num_pi >= 2 && p.num_po >= 1 && p.num_nodes >= 1);
+  Rng rng(p.seed ^ 0xabcdef0123456789ULL);
+  Network net(p.name);
+
+  std::vector<NodeId> pool;
+  for (int i = 0; i < p.num_pi; ++i)
+    pool.push_back(net.add_pi("pi" + std::to_string(i)));
+
+  for (int i = 0; i < p.num_nodes; ++i) {
+    const int k = static_cast<int>(
+        rng.range(2, std::min<std::int64_t>(p.max_fanin,
+                                            static_cast<std::int64_t>(pool.size()))));
+    // Bias fanin selection toward recent nodes (depth) and keep structural
+    // locality (narrow cuts, like real circuits — and small BDDs): most
+    // picks come from a fixed-width recent window, the rest from a narrow
+    // window around a random older center.
+    std::vector<NodeId> fanins;
+    while (static_cast<int>(fanins.size()) < k) {
+      const std::size_t span = pool.size();
+      const std::size_t width = std::min<std::size_t>(span, 12);
+      std::size_t idx;
+      if (rng.coin(0.8)) {
+        idx = span - 1 - rng.below(width);
+      } else {
+        const std::size_t center = rng.below(span);
+        const std::size_t lo = center < width / 2 ? 0 : center - width / 2;
+        const std::size_t hi = std::min(span - 1, center + width / 2);
+        idx = lo + rng.below(hi - lo + 1);
+      }
+      const NodeId cand = pool[idx];
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+        fanins.push_back(cand);
+    }
+    const Cover cover = random_cover(rng, k, p.max_cubes);
+    // Drop fanins the cover does not mention to keep supports tight.
+    std::vector<NodeId> used_fanins;
+    std::vector<int> new_var(kMaxCubeVars, -1);
+    for (int v = 0; v < k; ++v) {
+      if ((cover.support() >> v) & 1) {
+        new_var[static_cast<std::size_t>(v)] =
+            static_cast<int>(used_fanins.size());
+        used_fanins.push_back(fanins[static_cast<std::size_t>(v)]);
+      }
+    }
+    pool.push_back(net.add_node(used_fanins, cover.remap(new_var),
+                                "n" + std::to_string(i)));
+  }
+
+  // POs: prefer sinks (nodes nobody reads), newest first; top up with the
+  // deepest remaining nodes.
+  std::vector<NodeId> sinks;
+  for (auto it = pool.rbegin(); it != pool.rend(); ++it)
+    if (net.node(*it).is_internal() && net.node(*it).fanouts.empty())
+      sinks.push_back(*it);
+  std::vector<NodeId> po_nodes;
+  for (NodeId s : sinks) {
+    if (static_cast<int>(po_nodes.size()) >= p.num_po) break;
+    po_nodes.push_back(s);
+  }
+  for (auto it = pool.rbegin();
+       it != pool.rend() && static_cast<int>(po_nodes.size()) < p.num_po;
+       ++it) {
+    if (!net.node(*it).is_internal()) continue;
+    if (std::find(po_nodes.begin(), po_nodes.end(), *it) == po_nodes.end())
+      po_nodes.push_back(*it);
+  }
+  for (std::size_t i = 0; i < po_nodes.size(); ++i)
+    net.add_po("po" + std::to_string(i), po_nodes[i]);
+
+  net.sweep();
+  net.check();
+  return net;
+}
+
+const std::vector<BenchProfile>& paper_suite() {
+  // PI/PO counts follow the real circuits (latch outputs counted as PIs for
+  // the ISCAS-89 combinational cores); node counts are calibrated so the
+  // optimized+mapped sizes land near the paper's Method-I gate areas.
+  static const std::vector<BenchProfile> suite = {
+      {"s208", 12, 9, 28, 5, 4, 2081},
+      {"s344", 24, 26, 52, 5, 4, 3441},
+      {"s382", 24, 27, 55, 5, 4, 3821},
+      {"s444", 24, 27, 58, 5, 4, 4441},
+      {"s510", 25, 13, 92, 5, 4, 5101},
+      {"s526", 24, 27, 64, 5, 4, 5261},
+      {"s641", 54, 42, 72, 5, 4, 6411},
+      {"s713", 54, 42, 70, 5, 4, 7131},
+      {"s820", 23, 24, 98, 5, 4, 8201},
+      {"cm42a", 4, 10, 11, 3, 3, 421},
+      {"x1", 51, 35, 95, 5, 4, 9001},
+      {"x2", 10, 7, 20, 5, 4, 9002},
+      {"x3", 135, 99, 160, 4, 4, 9203},
+      {"ttt2", 24, 21, 74, 5, 4, 9004},
+      {"apex7", 49, 37, 82, 5, 4, 9005},
+      {"alu2", 10, 6, 105, 4, 5, 9006},
+      {"ex2", 85, 56, 104, 5, 4, 9007},
+  };
+  return suite;
+}
+
+Network generate_pla(const PlaProfile& p) {
+  MP_CHECK(p.num_pi >= 2 && p.num_outputs >= 1 && p.cubes_per_output >= 1);
+  Rng rng(p.seed ^ 0x9a11ab5ULL);
+  Network net(p.name);
+  std::vector<NodeId> pis;
+  for (int i = 0; i < p.num_pi; ++i)
+    pis.push_back(net.add_pi("in" + std::to_string(i)));
+
+  for (int o = 0; o < p.num_outputs; ++o) {
+    Cover cover;
+    for (int c = 0; c < p.cubes_per_output; ++c) {
+      Cube cube;
+      int lits = 0;
+      for (int v = 0; v < p.num_pi; ++v) {
+        if (!rng.coin(p.literal_density)) continue;
+        cube = cube & Cube::literal(v, rng.coin());
+        ++lits;
+      }
+      if (lits == 0)
+        cube = Cube::literal(static_cast<int>(rng.below(
+                                 static_cast<std::uint64_t>(p.num_pi))),
+                             rng.coin());
+      cover.add(cube);
+    }
+    cover.normalize();
+    if (cover.is_zero() || cover.is_one())
+      cover = Cover::literal(0, true);  // degenerate roll: fall back
+    // Restrict the fanin list to the cover's support.
+    std::vector<NodeId> fanins;
+    std::vector<int> new_var(kMaxCubeVars, -1);
+    for (int v = 0; v < p.num_pi; ++v)
+      if ((cover.support() >> v) & 1) {
+        new_var[static_cast<std::size_t>(v)] =
+            static_cast<int>(fanins.size());
+        fanins.push_back(pis[static_cast<std::size_t>(v)]);
+      }
+    net.add_po("out" + std::to_string(o),
+               net.add_node(fanins, cover.remap(new_var),
+                            "f" + std::to_string(o)));
+  }
+  net.check();
+  return net;
+}
+
+Network make_benchmark(const std::string& name) {
+  for (const BenchProfile& p : paper_suite())
+    if (p.name == name) return generate_benchmark(p);
+  MP_CHECK_MSG(false, ("unknown benchmark: " + name).c_str());
+  return Network{};
+}
+
+}  // namespace minpower

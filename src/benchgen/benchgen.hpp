@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic synthetic benchmark circuits.
+//
+// SUBSTITUTION (documented in DESIGN.md): the paper evaluates on ISCAS-89
+// and MCNC-91 circuits that are not redistributable offline. We generate
+// seeded random multi-level networks whose PI/PO counts and optimized sizes
+// land near the paper's per-circuit scale, keeping the original names so the
+// tables line up. The synthesis algorithms under test consume generic
+// Boolean networks; the paper's claims are aggregate trends over such
+// random-logic circuits, which this preserves.
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace minpower {
+
+struct BenchProfile {
+  std::string name;
+  int num_pi = 8;
+  int num_po = 8;
+  int num_nodes = 40;     // internal SOP nodes before optimization
+  int max_fanin = 5;      // per-node support
+  int max_cubes = 4;      // per-node SOP width
+  std::uint64_t seed = 1;
+};
+
+/// Generate the network for a profile. Deterministic in the profile.
+Network generate_benchmark(const BenchProfile& profile);
+
+/// The 17 circuit profiles standing in for the paper's Tables 2/3 suite.
+const std::vector<BenchProfile>& paper_suite();
+
+/// Lookup by circuit name (aborts if unknown).
+Network make_benchmark(const std::string& name);
+
+/// Two-level PLA-style circuit: every output is a sum of random cubes over
+/// the same inputs, so outputs share many literal pairs — the workload where
+/// common-subexpression extraction (plain or power-aware) has real freedom.
+struct PlaProfile {
+  std::string name = "pla";
+  int num_pi = 10;
+  int num_outputs = 8;
+  int cubes_per_output = 6;
+  double literal_density = 0.5;  // P(variable appears in a cube)
+  std::uint64_t seed = 1;
+};
+Network generate_pla(const PlaProfile& profile);
+
+}  // namespace minpower

@@ -1,0 +1,287 @@
+#include "decomp/huffman.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace minpower {
+
+namespace {
+
+/// Shared helper: start a tree whose first n nodes are the leaves.
+DecompTree init_leaves(const std::vector<double>& leaf_probs) {
+  DecompTree t;
+  t.num_leaves = static_cast<int>(leaf_probs.size());
+  for (int i = 0; i < t.num_leaves; ++i) {
+    DecompTree::TNode leaf;
+    leaf.leaf = i;
+    leaf.prob = leaf_probs[static_cast<std::size_t>(i)];
+    t.nodes.push_back(leaf);
+  }
+  return t;
+}
+
+int merge_nodes(DecompTree& t, int a, int b, const DecompModel& model) {
+  DecompTree::TNode parent;
+  parent.left = a;
+  parent.right = b;
+  parent.prob = model.merge_prob(t.nodes[static_cast<std::size_t>(a)].prob,
+                                 t.nodes[static_cast<std::size_t>(b)].prob);
+  parent.height = 1 + std::max(t.nodes[static_cast<std::size_t>(a)].height,
+                               t.nodes[static_cast<std::size_t>(b)].height);
+  t.nodes.push_back(parent);
+  return static_cast<int>(t.nodes.size()) - 1;
+}
+
+}  // namespace
+
+DecompTree huffman_tree(const std::vector<double>& leaf_probs,
+                        const DecompModel& model) {
+  MP_CHECK(!leaf_probs.empty());
+  DecompTree t = init_leaves(leaf_probs);
+  if (t.num_leaves == 1) {
+    t.root = 0;
+    return t;
+  }
+  // Min-heap on the model's ordering key; ties broken on node index so the
+  // construction is deterministic.
+  using Entry = std::pair<double, int>;  // (key, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int i = 0; i < t.num_leaves; ++i)
+    heap.emplace(model.huffman_key(t.nodes[static_cast<std::size_t>(i)].prob), i);
+  while (heap.size() > 1) {
+    const int a = heap.top().second;
+    heap.pop();
+    const int b = heap.top().second;
+    heap.pop();
+    const int p = merge_nodes(t, a, b, model);
+    heap.emplace(model.huffman_key(t.nodes[static_cast<std::size_t>(p)].prob), p);
+  }
+  t.root = heap.top().second;
+  return t;
+}
+
+DecompTree modified_huffman_tree(const std::vector<double>& leaf_probs,
+                                 const DecompModel& model) {
+  MP_CHECK(!leaf_probs.empty());
+  DecompTree t = init_leaves(leaf_probs);
+  if (t.num_leaves == 1) {
+    t.root = 0;
+    return t;
+  }
+  // Active node set plus a candidate list ordered by F(wi, wj).
+  // (F-value, i, j) with i < j as node indices; deterministic tie-break.
+  std::set<std::tuple<double, int, int>> candidates;
+  std::vector<int> active;
+  for (int i = 0; i < t.num_leaves; ++i) {
+    for (int j : active)
+      candidates.emplace(
+          model.merge_cost(t.nodes[static_cast<std::size_t>(j)].prob,
+                           t.nodes[static_cast<std::size_t>(i)].prob),
+          std::min(i, j), std::max(i, j));
+    active.push_back(i);
+  }
+  while (active.size() > 1) {
+    const auto [cost, a, b] = *candidates.begin();
+    (void)cost;
+    // Remove all candidates touching a or b.
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      const auto [c, i, j] = *it;
+      (void)c;
+      it = (i == a || i == b || j == a || j == b) ? candidates.erase(it)
+                                                  : std::next(it);
+    }
+    std::erase(active, a);
+    std::erase(active, b);
+    const int p = merge_nodes(t, a, b, model);
+    for (int j : active)
+      candidates.emplace(
+          model.merge_cost(t.nodes[static_cast<std::size_t>(j)].prob,
+                           t.nodes[static_cast<std::size_t>(p)].prob),
+          std::min(p, j), std::max(p, j));
+    active.push_back(p);
+  }
+  t.root = active.front();
+  return t;
+}
+
+namespace {
+
+void exhaustive_rec(DecompTree& t, std::vector<int>& active,
+                    const DecompModel& model, double cost_so_far,
+                    double& best_cost, std::vector<int>& best_merges,
+                    std::vector<int>& merges) {
+  if (active.size() == 1) {
+    if (cost_so_far < best_cost) {
+      best_cost = cost_so_far;
+      best_merges = merges;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      const int a = active[i];
+      const int b = active[j];
+      const double f =
+          model.merge_cost(t.nodes[static_cast<std::size_t>(a)].prob,
+                           t.nodes[static_cast<std::size_t>(b)].prob);
+      if (cost_so_far + f >= best_cost) continue;  // branch & bound
+      const int p = merge_nodes(t, a, b, model);
+      // Replace a and b with p in the active set.
+      std::vector<int> next;
+      next.reserve(active.size() - 1);
+      for (std::size_t k = 0; k < active.size(); ++k)
+        if (k != i && k != j) next.push_back(active[k]);
+      next.push_back(p);
+      merges.push_back(a);
+      merges.push_back(b);
+      exhaustive_rec(t, next, model, cost_so_far + f, best_cost, best_merges,
+                     merges);
+      merges.pop_back();
+      merges.pop_back();
+      t.nodes.pop_back();  // undo the merge
+    }
+  }
+}
+
+}  // namespace
+
+DecompTree best_tree_exhaustive(const std::vector<double>& leaf_probs,
+                                const DecompModel& model) {
+  MP_CHECK(!leaf_probs.empty());
+  MP_CHECK_MSG(leaf_probs.size() <= 9,
+               "exhaustive tree search limited to 9 leaves");
+  DecompTree scratch = init_leaves(leaf_probs);
+  if (scratch.num_leaves == 1) {
+    scratch.root = 0;
+    return scratch;
+  }
+  std::vector<int> active(static_cast<std::size_t>(scratch.num_leaves));
+  for (int i = 0; i < scratch.num_leaves; ++i)
+    active[static_cast<std::size_t>(i)] = i;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_merges;
+  std::vector<int> merges;
+  exhaustive_rec(scratch, active, model, 0.0, best_cost, best_merges, merges);
+  MP_CHECK(!best_merges.empty());
+
+  // Replay the winning merge sequence on a fresh tree.
+  DecompTree t = init_leaves(leaf_probs);
+  for (std::size_t m = 0; m + 1 < best_merges.size(); m += 2)
+    merge_nodes(t, best_merges[m], best_merges[m + 1], model);
+  t.root = static_cast<int>(t.nodes.size()) - 1;
+  return t;
+}
+
+
+DecompTree modified_huffman_correlated(const JointProbabilities& joints,
+                                       const DecompModel& model) {
+  const int n = joints.size();
+  MP_CHECK(n >= 1);
+  std::vector<double> p1(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) p1[static_cast<std::size_t>(i)] = joints.prob(i);
+  DecompTree t = init_leaves(p1);
+  if (n == 1) {
+    t.root = 0;
+    return t;
+  }
+
+  // Growable joint table indexed by tree-node id.
+  const int max_nodes = 2 * n - 1;
+  std::vector<double> J(static_cast<std::size_t>(max_nodes) *
+                            static_cast<std::size_t>(max_nodes),
+                        0.0);
+  auto jref = [&](int i, int j) -> double& {
+    return J[static_cast<std::size_t>(i) * static_cast<std::size_t>(max_nodes) +
+             static_cast<std::size_t>(j)];
+  };
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) jref(i, j) = joints.joint(i, j);
+
+  std::vector<int> active(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) active[static_cast<std::size_t>(i)] = i;
+
+  auto node_prob = [&](int id) {
+    return t.nodes[static_cast<std::size_t>(id)].prob;
+  };
+  // Output 1-probability of a merge. AND (Eqs. 7/8): exactly the pairwise
+  // joint. OR: inclusion-exclusion, likewise exact given the joint.
+  auto merge_p = [&](int a, int b) {
+    return model.gate() == GateType::kAnd
+               ? jref(a, b)
+               : node_prob(a) + node_prob(b) - jref(a, b);
+  };
+  auto pair_cost = [&](int a, int b) { return model.activity(merge_p(a, b)); };
+
+  while (active.size() > 1) {
+    // Find min-F pair.
+    int bi = 0;
+    int bj = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i)
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const double f = pair_cost(active[i], active[j]);
+        if (f < best) {
+          best = f;
+          bi = active[static_cast<std::size_t>(i)];
+          bj = active[static_cast<std::size_t>(j)];
+        }
+      }
+    // Merge bi, bj. Exact parent probability from the pairwise joint
+    // (Eq. 7 for AND; inclusion-exclusion for OR).
+    DecompTree::TNode parent;
+    parent.left = bi;
+    parent.right = bj;
+    parent.prob = merge_p(bi, bj);
+    parent.height =
+        1 + std::max(t.nodes[static_cast<std::size_t>(bi)].height,
+                     t.nodes[static_cast<std::size_t>(bj)].height);
+    t.nodes.push_back(parent);
+    const int p = static_cast<int>(t.nodes.size()) - 1;
+    jref(p, p) = parent.prob;
+
+    // Eq. 9 heuristic joint with every survivor k, clamped to the Fréchet
+    // bounds [max(0, pA + pk − 1), min(pA, pk)].
+    std::erase(active, bi);
+    std::erase(active, bj);
+    for (int k : active) {
+      const double pi = node_prob(bi);
+      const double pj = node_prob(bj);
+      const double pk = node_prob(k);
+      auto cond = [&](int x, int y) {  // P(x=1 | y=1)
+        const double py = node_prob(y);
+        return py <= 0.0 ? 0.0 : jref(x, y) / py;
+      };
+      const double w_ij = jref(bi, bj);
+      const double w_ik = jref(bi, k);
+      const double w_jk = jref(bj, k);
+      double est;
+      if (model.gate() == GateType::kAnd) {
+        est = ((cond(k, bi) + cond(k, bj)) * w_ij / 2.0 +
+               (cond(bj, k) + cond(bj, bi)) * w_ik / 2.0 +
+               (cond(bi, bj) + cond(bi, k)) * w_jk / 2.0) /
+              3.0;
+      } else {
+        // OR merge: P((i∨j)∧k) = P(i∧k) + P(j∧k) − P(i∧j∧k); estimate the
+        // triple joint from the pairwise data.
+        const double triple =
+            w_ij * (cond(k, bi) + cond(k, bj)) / 2.0;
+        est = w_ik + w_jk - triple;
+      }
+      (void)pi;
+      (void)pj;
+      const double pa = parent.prob;
+      const double lo = std::max(0.0, pa + pk - 1.0);
+      const double hi = std::min(pa, pk);
+      est = std::clamp(est, lo, hi);
+      jref(p, k) = est;
+      jref(k, p) = est;
+    }
+    active.push_back(p);
+  }
+  t.root = active.front();
+  return t;
+}
+
+}  // namespace minpower

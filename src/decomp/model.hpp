@@ -1,0 +1,66 @@
+#pragma once
+// Weight-combination models for MINPOWER tree decomposition (Section 2.1).
+//
+// A decomposition tree combines signals with a fixed associative gate type
+// (AND while decomposing a cube, OR while decomposing a sum of cubes). The
+// state carried per tree node is its exact 1-probability, assuming spatially
+// independent leaves. The model supplies:
+//   * merge_prob  — the 1-probability of the combined signal (Eqs. 5/6 are
+//                   this merge expressed for domino p/n circuits),
+//   * activity    — the node's switching contribution under a circuit style
+//                   (p, 1−p, or 2p(1−p); Eqs. 3/10/11 collapse to the last
+//                   form under temporal independence),
+//   * merge_cost  — activity(merge_prob(a, b)), the F of Algorithm 2.2,
+//   * huffman_key — an ordering key such that the pair with the two extreme
+//                   keys minimizes merge_cost when the merge function is
+//                   quasi-linear (dynamic styles; Lemma 2.1), enabling the
+//                   O(n log n) Huffman construction of Algorithm 2.1.
+
+#include "prob/probability.hpp"
+#include "util/check.hpp"
+
+namespace minpower {
+
+enum class GateType { kAnd, kOr };
+
+class DecompModel {
+ public:
+  DecompModel(GateType gate, CircuitStyle style) : gate_(gate), style_(style) {}
+
+  GateType gate() const { return gate_; }
+  CircuitStyle style() const { return style_; }
+
+  /// 1-probability of the gate output from independent input 1-probabilities.
+  double merge_prob(double a, double b) const {
+    MP_DCHECK(a >= -1e-9 && a <= 1.0 + 1e-9);
+    MP_DCHECK(b >= -1e-9 && b <= 1.0 + 1e-9);
+    return gate_ == GateType::kAnd ? a * b : 1.0 - (1.0 - a) * (1.0 - b);
+  }
+
+  /// Switching contribution of a node with 1-probability p.
+  double activity(double p) const { return switching_activity(p, style_); }
+
+  /// Algorithm 2.2's F: the cost of the internal node created by merging.
+  double merge_cost(double a, double b) const {
+    return activity(merge_prob(a, b));
+  }
+
+  /// True when plain Huffman (Algorithm 2.1) is provably optimal
+  /// (Theorem 2.2: dynamic styles, uncorrelated inputs).
+  bool huffman_optimal() const { return style_ != CircuitStyle::kStatic; }
+
+  /// Key such that merging the two smallest keys minimizes F for the
+  /// quasi-linear (dynamic) merges:
+  ///   p-type: F increasing in both probs     → merge two smallest p.
+  ///   n-type: F decreasing in both probs     → merge two largest p.
+  /// For OR gates the monotonicity is the same in p; only the merge differs.
+  double huffman_key(double p) const {
+    return style_ == CircuitStyle::kDynamicN ? -p : p;
+  }
+
+ private:
+  GateType gate_;
+  CircuitStyle style_;
+};
+
+}  // namespace minpower

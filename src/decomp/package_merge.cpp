@@ -1,0 +1,297 @@
+#include "decomp/package_merge.hpp"
+
+#include "decomp/huffman.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace minpower {
+
+int balanced_height(int n) {
+  MP_CHECK(n >= 1);
+  int h = 0;
+  while ((1 << h) < n) ++h;
+  return h;
+}
+
+std::vector<int> length_limited_levels(const std::vector<double>& weights,
+                                       int max_level) {
+  const int n = static_cast<int>(weights.size());
+  MP_CHECK(n >= 1);
+  if (n == 1) return {0};
+  MP_CHECK_MSG((max_level < 63) && (1LL << max_level) >= n,
+               "height bound below ceil(log2 n)");
+
+  // Package-merge over L denomination levels. An item is either an original
+  // leaf at some level (width 2^-level) or a package of two items one level
+  // deeper. We carry per-item leaf multisets as count vectors — n is the
+  // fanin count of one node, so this stays tiny.
+  struct Item {
+    double weight = 0.0;
+    std::vector<int> leaves;  // leaf indices, duplicates allowed
+  };
+
+  // Leaves sorted ascending by weight (stable for determinism).
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weights[static_cast<std::size_t>(a)] <
+           weights[static_cast<std::size_t>(b)];
+  });
+
+  auto leaf_items = [&]() {
+    std::vector<Item> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (int i : order)
+      v.push_back(Item{weights[static_cast<std::size_t>(i)], {i}});
+    return v;
+  };
+
+  // list = items at the current level, ascending by weight.
+  std::vector<Item> list = leaf_items();
+  for (int level = max_level - 1; level >= 1; --level) {
+    // PACKAGE: pair consecutive items.
+    std::vector<Item> packages;
+    for (std::size_t i = 0; i + 1 < list.size(); i += 2) {
+      Item p;
+      p.weight = list[i].weight + list[i + 1].weight;
+      p.leaves = list[i].leaves;
+      p.leaves.insert(p.leaves.end(), list[i + 1].leaves.begin(),
+                      list[i + 1].leaves.end());
+      packages.push_back(std::move(p));
+    }
+    // MERGE with the fresh leaf items of this level.
+    std::vector<Item> fresh = leaf_items();
+    std::vector<Item> merged;
+    merged.reserve(packages.size() + fresh.size());
+    std::merge(fresh.begin(), fresh.end(), packages.begin(), packages.end(),
+               std::back_inserter(merged),
+               [](const Item& a, const Item& b) { return a.weight < b.weight; });
+    list = std::move(merged);
+  }
+
+  // Solution: the 2(n-1) cheapest items at level 1; each occurrence of a
+  // leaf adds one to its code length.
+  MP_CHECK(static_cast<int>(list.size()) >= 2 * (n - 1));
+  std::vector<int> levels(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < 2 * (n - 1); ++i)
+    for (int leaf : list[static_cast<std::size_t>(i)].leaves)
+      ++levels[static_cast<std::size_t>(leaf)];
+  for (int l : levels) MP_CHECK(l >= 1 && l <= max_level);
+  return levels;
+}
+
+namespace {
+
+/// Exact minimum achievable root height when combining subtrees with the
+/// given heights into one binary tree: repeatedly merge the two smallest
+/// heights (optimal because F(x,y)=max(x,y)+1 is quasi-linear).
+int completion_height(std::vector<int> heights) {
+  MP_CHECK(!heights.empty());
+  std::sort(heights.begin(), heights.end());
+  while (heights.size() > 1) {
+    const int h = std::max(heights[0], heights[1]) + 1;
+    heights.erase(heights.begin(), heights.begin() + 2);
+    heights.insert(std::lower_bound(heights.begin(), heights.end(), h), h);
+  }
+  return heights[0];
+}
+
+}  // namespace
+
+namespace {
+
+/// One pass of the height-feasible greedy at a fixed bound.
+DecompTree bounded_greedy_once(const std::vector<double>& leaf_probs,
+                               int max_height, const DecompModel& model) {
+  const int n = static_cast<int>(leaf_probs.size());
+  DecompTree t;
+  t.num_leaves = n;
+  std::vector<int> active;
+  for (int i = 0; i < n; ++i) {
+    DecompTree::TNode leaf;
+    leaf.leaf = i;
+    leaf.prob = leaf_probs[static_cast<std::size_t>(i)];
+    t.nodes.push_back(leaf);
+    active.push_back(i);
+  }
+  if (n == 1) {
+    t.root = 0;
+    return t;
+  }
+
+  while (active.size() > 1) {
+    // Candidate pairs ordered by F; take the cheapest that stays feasible.
+    int bi = -1;
+    int bj = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const int a = active[i];
+        const int b = active[j];
+        const double f =
+            model.merge_cost(t.nodes[static_cast<std::size_t>(a)].prob,
+                             t.nodes[static_cast<std::size_t>(b)].prob);
+        if (f >= best) continue;
+        // Feasibility: heights after this merge must still complete <= L.
+        std::vector<int> hs;
+        hs.reserve(active.size() - 1);
+        for (std::size_t k = 0; k < active.size(); ++k)
+          if (k != i && k != j)
+            hs.push_back(
+                t.nodes[static_cast<std::size_t>(active[k])].height);
+        hs.push_back(1 + std::max(t.nodes[static_cast<std::size_t>(a)].height,
+                                  t.nodes[static_cast<std::size_t>(b)].height));
+        if (completion_height(std::move(hs)) > max_height) continue;
+        best = f;
+        bi = a;
+        bj = b;
+      }
+    }
+    MP_CHECK_MSG(bi >= 0, "no feasible merge found (internal error)");
+    DecompTree::TNode parent;
+    parent.left = bi;
+    parent.right = bj;
+    parent.prob =
+        model.merge_prob(t.nodes[static_cast<std::size_t>(bi)].prob,
+                         t.nodes[static_cast<std::size_t>(bj)].prob);
+    parent.height = 1 + std::max(t.nodes[static_cast<std::size_t>(bi)].height,
+                                 t.nodes[static_cast<std::size_t>(bj)].height);
+    t.nodes.push_back(parent);
+    std::erase(active, bi);
+    std::erase(active, bj);
+    active.push_back(static_cast<int>(t.nodes.size()) - 1);
+  }
+  t.root = active.front();
+  MP_CHECK(t.height() <= max_height);
+  return t;
+}
+
+/// Exact branch-and-bound over merge orders with a height cap; exponential,
+/// used only for small n where it is instantaneous.
+void bounded_exhaustive_rec(DecompTree& t, std::vector<int>& active,
+                            int max_height, const DecompModel& model,
+                            double acc, double& best_cost,
+                            std::vector<std::pair<int, int>>& merges,
+                            std::vector<std::pair<int, int>>& best_merges) {
+  if (active.size() == 1) {
+    if (acc < best_cost) {
+      best_cost = acc;
+      best_merges = merges;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      const int a = active[i];
+      const int b = active[j];
+      const auto& na = t.nodes[static_cast<std::size_t>(a)];
+      const auto& nb = t.nodes[static_cast<std::size_t>(b)];
+      const int h = 1 + std::max(na.height, nb.height);
+      if (h > max_height) continue;
+      const double w = model.merge_prob(na.prob, nb.prob);
+      const double cost = acc + model.activity(w);
+      if (cost >= best_cost) continue;
+      // Remaining subtrees must still complete within the bound.
+      std::vector<int> next;
+      std::vector<int> hs;
+      for (std::size_t k = 0; k < active.size(); ++k)
+        if (k != i && k != j) {
+          next.push_back(active[k]);
+          hs.push_back(t.nodes[static_cast<std::size_t>(active[k])].height);
+        }
+      hs.push_back(h);
+      if (completion_height(std::move(hs)) > max_height) continue;
+
+      DecompTree::TNode parent;
+      parent.left = a;
+      parent.right = b;
+      parent.prob = w;
+      parent.height = h;
+      t.nodes.push_back(parent);
+      next.push_back(static_cast<int>(t.nodes.size()) - 1);
+      merges.emplace_back(a, b);
+      bounded_exhaustive_rec(t, next, max_height, model, cost, best_cost,
+                             merges, best_merges);
+      merges.pop_back();
+      t.nodes.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+DecompTree bounded_height_minpower_tree(const std::vector<double>& leaf_probs,
+                                        int max_height,
+                                        const DecompModel& model) {
+  const int n = static_cast<int>(leaf_probs.size());
+  MP_CHECK(n >= 1);
+  MP_CHECK_MSG(max_height >= balanced_height(n),
+               "height bound below ceil(log2 n) is infeasible");
+  if (n <= 2) return bounded_greedy_once(leaf_probs, max_height, model);
+
+  if (n <= 6) {
+    // Small fanins (the common case after technology-independent
+    // optimization): solve exactly.
+    DecompTree t;
+    t.num_leaves = n;
+    std::vector<int> active;
+    for (int i = 0; i < n; ++i) {
+      DecompTree::TNode leaf;
+      leaf.leaf = i;
+      leaf.prob = leaf_probs[static_cast<std::size_t>(i)];
+      t.nodes.push_back(leaf);
+      active.push_back(i);
+    }
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::vector<std::pair<int, int>> merges;
+    std::vector<std::pair<int, int>> best_merges;
+    bounded_exhaustive_rec(t, active, max_height, model, 0.0, best_cost,
+                           merges, best_merges);
+    MP_CHECK(!best_merges.empty());
+    t.nodes.resize(static_cast<std::size_t>(n));
+    for (const auto& [a, b] : best_merges) {
+      DecompTree::TNode parent;
+      parent.left = a;
+      parent.right = b;
+      parent.prob = model.merge_prob(t.nodes[static_cast<std::size_t>(a)].prob,
+                                     t.nodes[static_cast<std::size_t>(b)].prob);
+      parent.height = 1 + std::max(t.nodes[static_cast<std::size_t>(a)].height,
+                                   t.nodes[static_cast<std::size_t>(b)].height);
+      t.nodes.push_back(parent);
+    }
+    t.root = static_cast<int>(t.nodes.size()) - 1;
+    MP_CHECK(t.height() <= max_height);
+    return t;
+  }
+
+  // The feasibility-constrained greedy is myopic and not monotone in the
+  // bound: a tighter bound occasionally blocks an early cheap merge that
+  // would force expensive merges later. Since any tree of height ≤ L' is
+  // also valid for L ≥ L', run the greedy at every bound up to max_height
+  // and keep the best. The unbounded Modified Huffman tree is admitted too
+  // whenever it fits, making the result coincide with Algorithm 2.2 for
+  // loose bounds.
+  DecompTree best;
+  double best_cost = 0.0;
+  bool have = false;
+  auto consider = [&](DecompTree t) {
+    if (t.height() > max_height) return;
+    const double c = t.internal_cost(model, leaf_probs);
+    if (!have || c < best_cost) {
+      best = std::move(t);
+      best_cost = c;
+      have = true;
+    }
+  };
+  for (int bound = balanced_height(n); bound <= max_height; ++bound)
+    consider(bounded_greedy_once(leaf_probs, bound, model));
+  consider(model.huffman_optimal() ? huffman_tree(leaf_probs, model)
+                                   : modified_huffman_tree(leaf_probs, model));
+  MP_CHECK(have);
+  annotate(best, model, leaf_probs);
+  return best;
+}
+
+}  // namespace minpower

@@ -1,0 +1,181 @@
+#include "decomp/transition_model.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+namespace minpower {
+
+SignalTransition merge_transitions(const SignalTransition& a,
+                                   const SignalTransition& b, GateType gate) {
+  if (gate == GateType::kOr) {
+    // a + b = !( !a · !b )
+    return merge_transitions(a.complement(), b.complement(), GateType::kAnd)
+        .complement();
+  }
+  SignalTransition o;
+  // Output is 1 at a time step iff both inputs are 1 there; the pair
+  // distribution of the output follows from the independent input pairs.
+  o.w11 = a.w11 * b.w11;
+  o.w01 = a.w01 * b.w01 + a.w11 * b.w01 + a.w01 * b.w11;  // Eq. 10
+  o.w10 = a.w11 * b.w10 + a.w10 * b.w11 + a.w10 * b.w10;  // Eq. 11
+  o.w00 = 1.0 - o.w11 - o.w01 - o.w10;
+  return o;
+}
+
+namespace {
+
+struct Item {
+  SignalTransition state;
+  int node;  // DecompTree node index
+};
+
+DecompTree init_tree(const std::vector<SignalTransition>& leaves) {
+  DecompTree t;
+  t.num_leaves = static_cast<int>(leaves.size());
+  for (int i = 0; i < t.num_leaves; ++i) {
+    DecompTree::TNode leaf;
+    leaf.leaf = i;
+    leaf.prob = leaves[static_cast<std::size_t>(i)].p1();
+    t.nodes.push_back(leaf);
+  }
+  return t;
+}
+
+int add_merge(DecompTree& t, int a, int b, const SignalTransition& s) {
+  DecompTree::TNode parent;
+  parent.left = a;
+  parent.right = b;
+  parent.prob = s.p1();
+  parent.height = 1 + std::max(t.nodes[static_cast<std::size_t>(a)].height,
+                               t.nodes[static_cast<std::size_t>(b)].height);
+  t.nodes.push_back(parent);
+  return static_cast<int>(t.nodes.size()) - 1;
+}
+
+}  // namespace
+
+DecompTree modified_huffman_transitions(
+    const std::vector<SignalTransition>& leaves, GateType gate) {
+  MP_CHECK(!leaves.empty());
+  DecompTree t = init_tree(leaves);
+  if (t.num_leaves == 1) {
+    t.root = 0;
+    return t;
+  }
+  std::vector<Item> active;
+  for (int i = 0; i < t.num_leaves; ++i)
+    active.push_back({leaves[static_cast<std::size_t>(i)], i});
+
+  while (active.size() > 1) {
+    std::size_t bi = 0;
+    std::size_t bj = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i)
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const double f =
+            merge_transitions(active[i].state, active[j].state, gate)
+                .activity();
+        if (f < best) {
+          best = f;
+          bi = i;
+          bj = j;
+        }
+      }
+    const SignalTransition merged =
+        merge_transitions(active[bi].state, active[bj].state, gate);
+    const int node = add_merge(t, active[bi].node, active[bj].node, merged);
+    // Erase the higher index first.
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bi));
+    active.push_back({merged, node});
+  }
+  t.root = active.front().node;
+  return t;
+}
+
+DecompTree best_tree_exhaustive_transitions(
+    const std::vector<SignalTransition>& leaves, GateType gate) {
+  MP_CHECK(!leaves.empty());
+  MP_CHECK_MSG(leaves.size() <= 9, "exhaustive search limited to 9 leaves");
+  DecompTree t = init_tree(leaves);
+  if (t.num_leaves == 1) {
+    t.root = 0;
+    return t;
+  }
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<int, int>> best_merges;
+  std::vector<std::pair<int, int>> merges;
+  std::vector<Item> init;
+  for (int i = 0; i < t.num_leaves; ++i)
+    init.push_back({leaves[static_cast<std::size_t>(i)], i});
+
+  // Node indices in the scratch recursion are symbolic: we track merges by
+  // the pair of item positions translated to eventual tree node ids on
+  // replay, so the recursion only carries states.
+  const std::function<void(std::vector<Item>, double, int)> rec =
+      [&](std::vector<Item> items, double acc, int next_id) {
+        if (items.size() == 1) {
+          if (acc < best_cost) {
+            best_cost = acc;
+            best_merges = merges;
+          }
+          return;
+        }
+        for (std::size_t i = 0; i < items.size(); ++i)
+          for (std::size_t j = i + 1; j < items.size(); ++j) {
+            const SignalTransition m =
+                merge_transitions(items[i].state, items[j].state, gate);
+            const double cost = acc + m.activity();
+            if (cost >= best_cost) continue;
+            std::vector<Item> next;
+            for (std::size_t k = 0; k < items.size(); ++k)
+              if (k != i && k != j) next.push_back(items[k]);
+            next.push_back({m, next_id});
+            merges.emplace_back(items[i].node, items[j].node);
+            rec(std::move(next), cost, next_id + 1);
+            merges.pop_back();
+          }
+      };
+  rec(init, 0.0, t.num_leaves);
+  MP_CHECK(!best_merges.empty());
+
+  // Replay.
+  std::vector<SignalTransition> state(leaves);
+  for (const auto& [a, b] : best_merges) {
+    const SignalTransition m = merge_transitions(
+        state[static_cast<std::size_t>(a)], state[static_cast<std::size_t>(b)],
+        gate);
+    state.push_back(m);
+    add_merge(t, a, b, m);
+  }
+  t.root = static_cast<int>(t.nodes.size()) - 1;
+  return t;
+}
+
+double tree_transition_activity(const DecompTree& tree,
+                                const std::vector<SignalTransition>& leaves,
+                                GateType gate) {
+  std::vector<SignalTransition> state(tree.nodes.size());
+  double total = 0.0;
+  // Postorder accumulate.
+  const std::function<void(int)> walk = [&](int id) {
+    const DecompTree::TNode& n = tree.nodes[static_cast<std::size_t>(id)];
+    if (n.is_leaf()) {
+      state[static_cast<std::size_t>(id)] =
+          leaves[static_cast<std::size_t>(n.leaf)];
+      return;
+    }
+    walk(n.left);
+    walk(n.right);
+    state[static_cast<std::size_t>(id)] =
+        merge_transitions(state[static_cast<std::size_t>(n.left)],
+                          state[static_cast<std::size_t>(n.right)], gate);
+    total += state[static_cast<std::size_t>(id)].activity();
+  };
+  walk(tree.root);
+  return total;
+}
+
+}  // namespace minpower

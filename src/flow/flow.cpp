@@ -1,0 +1,92 @@
+#include "flow/flow.hpp"
+
+#include "opt/optimize.hpp"
+
+namespace minpower {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kI:
+      return "I";
+    case Method::kII:
+      return "II";
+    case Method::kIII:
+      return "III";
+    case Method::kIV:
+      return "IV";
+    case Method::kV:
+      return "V";
+    case Method::kVI:
+      return "VI";
+  }
+  return "?";
+}
+
+void prepare_network(Network& net) { rugged_lite(net); }
+
+FlowResult run_method(const Network& prepared, Method method,
+                      const Library& lib, const FlowOptions& options) {
+  FlowResult r;
+  r.circuit = prepared.name();
+  r.method = method;
+
+  NetworkDecompOptions d;
+  d.style = options.style;
+  switch (method) {
+    case Method::kI:
+    case Method::kIV:
+      d.algorithm = DecompAlgorithm::kBalanced;
+      break;
+    case Method::kII:
+    case Method::kV:
+      d.algorithm = DecompAlgorithm::kMinPower;
+      break;
+    case Method::kIII:
+    case Method::kVI:
+      d.algorithm = DecompAlgorithm::kMinPower;
+      d.bounded_height = true;
+      break;
+  }
+  const NetworkDecompResult nd = decompose_network(prepared, d);
+  r.tree_activity = nd.tree_activity;
+  r.nand_depth = nd.unit_depth;
+  r.nand_nodes = nd.network.num_internal();
+  r.redecomposed = nd.redecomposed_nodes;
+
+  MapOptions m;
+  m.objective = (method == Method::kI || method == Method::kII ||
+                 method == Method::kIII)
+                    ? MapObjective::kArea
+                    : MapObjective::kPower;
+  // One BDD pass over the subject serves both mapping and scoring.
+  m.activities = switching_activities(nd.network, options.style);
+  m.dag = options.dag;
+  m.style = options.style;
+  m.vdd = options.vdd;
+  m.t_cycle = options.t_cycle;
+  m.po_load = options.po_load;
+  m.epsilon_t = options.epsilon_t;
+  m.policy = options.policy;
+  m.relax_factor = options.relax_factor;
+  const MapResult mapped = map_network(nd.network, lib, m);
+
+  const MappedReport rep =
+      evaluate_mapped(mapped.mapped, PowerParams::from(m));
+  r.area = rep.area;
+  r.delay = rep.delay;
+  r.power_uw = rep.power_uw;
+  r.gates = rep.num_gates;
+  return r;
+}
+
+std::vector<FlowResult> run_all_methods(const Network& prepared,
+                                        const Library& lib,
+                                        const FlowOptions& options) {
+  std::vector<FlowResult> out;
+  for (Method m : {Method::kI, Method::kII, Method::kIII, Method::kIV,
+                   Method::kV, Method::kVI})
+    out.push_back(run_method(prepared, m, lib, options));
+  return out;
+}
+
+}  // namespace minpower

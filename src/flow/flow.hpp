@@ -1,0 +1,65 @@
+#pragma once
+// End-to-end synthesis flows: the six method combinations of Tables 2 and 3.
+//
+//   Method I   : conventional decomposition + area-delay mapping
+//   Method II  : MINPOWER decomposition     + area-delay mapping
+//   Method III : BH-MINPOWER decomposition  + area-delay mapping
+//   Method IV  : conventional decomposition + power-delay mapping
+//   Method V   : MINPOWER decomposition     + power-delay mapping
+//   Method VI  : BH-MINPOWER decomposition  + power-delay mapping
+//
+// Every method starts from the same technology-independent optimization
+// (rugged-lite; the paper uses the SIS rugged script).
+
+#include <string>
+
+#include "decomp/network_decompose.hpp"
+#include "library/library.hpp"
+#include "map/mapper.hpp"
+#include "netlist/network.hpp"
+#include "power/report.hpp"
+
+namespace minpower {
+
+enum class Method { kI, kII, kIII, kIV, kV, kVI };
+
+const char* method_name(Method m);
+
+struct FlowOptions {
+  CircuitStyle style = CircuitStyle::kStatic;
+  double vdd = 5.0;
+  double t_cycle = 50e-9;       // 20 MHz
+  double po_load = 2.0;
+  double epsilon_t = 0.02;
+  RequiredTimePolicy policy = RequiredTimePolicy::kRelaxedMinDelay;
+  double relax_factor = 1.35;
+  DagHeuristic dag = DagHeuristic::kFanoutDivision;
+};
+
+struct FlowResult {
+  std::string circuit;
+  Method method = Method::kI;
+  double area = 0.0;
+  double delay = 0.0;        // ns
+  double power_uw = 0.0;
+  std::size_t gates = 0;
+  // Decomposition-phase diagnostics:
+  double tree_activity = 0.0;   // Σ internal switching activity of Γ'
+  int nand_depth = 0;           // unit-delay depth of Γ'
+  std::size_t nand_nodes = 0;
+  int redecomposed = 0;         // bounded-height loop iterations
+};
+
+/// Apply rugged-lite preconditioning in place (every method's common start).
+void prepare_network(Network& net);
+
+/// Run one method on an already-prepared network.
+FlowResult run_method(const Network& prepared, Method method,
+                      const Library& lib, const FlowOptions& options = {});
+
+/// Convenience: run all six methods; results indexed by Method order.
+std::vector<FlowResult> run_all_methods(const Network& prepared,
+                                        const Library& lib,
+                                        const FlowOptions& options = {});
+
+}  // namespace minpower

@@ -1,0 +1,241 @@
+#include "io/blif.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace minpower {
+
+namespace {
+
+struct RawGate {
+  std::vector<std::string> signals;  // inputs..., output
+  std::vector<std::string> rows;     // cover rows "pattern value"
+};
+
+/// Read one logical BLIF line: strips comments, joins '\' continuations.
+bool next_logical_line(std::istream& in, std::string& out) {
+  out.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::string_view t = trim(line);
+    const bool continued = !t.empty() && t.back() == '\\';
+    if (continued) t.remove_suffix(1);
+    if (!t.empty()) {
+      if (!out.empty()) out += ' ';
+      out += std::string(t);
+    }
+    if (!continued && !out.empty()) return true;
+    if (!continued && out.empty()) continue;
+  }
+  return !out.empty();
+}
+
+Cover cover_from_rows(const RawGate& g, std::size_t num_inputs) {
+  // Determine polarity from the output column (all rows must agree; SIS
+  // enforces the same restriction).
+  bool has_on = false;
+  bool has_off = false;
+  for (const std::string& row : g.rows) {
+    const auto fields = split_ws(row);
+    MP_CHECK_MSG(!fields.empty(), "empty BLIF cover row");
+    const std::string_view value = fields.back();
+    if (value == "1") has_on = true;
+    else if (value == "0") has_off = true;
+    else MP_CHECK_MSG(false, "BLIF cover output column must be 0 or 1");
+  }
+  MP_CHECK_MSG(!(has_on && has_off),
+               "BLIF cover mixes ON-set and OFF-set rows");
+
+  Cover cover;
+  for (const std::string& row : g.rows) {
+    const auto fields = split_ws(row);
+    std::string_view pattern;
+    if (num_inputs == 0) {
+      MP_CHECK(fields.size() == 1);
+    } else {
+      MP_CHECK_MSG(fields.size() == 2, "BLIF cover row needs pattern + value");
+      pattern = fields[0];
+      MP_CHECK_MSG(pattern.size() == num_inputs,
+                   "BLIF cover row width mismatch");
+    }
+    std::uint64_t pos = 0;
+    std::uint64_t neg = 0;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      const char ch = pattern[i];
+      if (ch == '1') pos |= std::uint64_t{1} << i;
+      else if (ch == '0') neg |= std::uint64_t{1} << i;
+      else MP_CHECK_MSG(ch == '-', "BLIF cover literal must be 0/1/-");
+    }
+    cover.add(Cube{pos, neg});
+  }
+  cover.normalize();
+  if (has_off) cover = cover.complement();
+  return cover;
+}
+
+}  // namespace
+
+Network read_blif(std::istream& in) {
+  Network net;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<RawGate> gates;
+  std::vector<std::pair<std::string, std::string>> latches;  // in, out
+  RawGate* current = nullptr;
+
+  std::string line;
+  while (next_logical_line(in, line)) {
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    const std::string_view head = fields[0];
+    if (head == ".model") {
+      if (fields.size() > 1) net.set_name(std::string(fields[1]));
+      current = nullptr;
+    } else if (head == ".inputs") {
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        input_names.emplace_back(fields[i]);
+      current = nullptr;
+    } else if (head == ".outputs") {
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        output_names.emplace_back(fields[i]);
+      current = nullptr;
+    } else if (head == ".names") {
+      RawGate g;
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        g.signals.emplace_back(fields[i]);
+      MP_CHECK_MSG(!g.signals.empty(), ".names needs at least an output");
+      gates.push_back(std::move(g));
+      current = &gates.back();
+    } else if (head == ".latch") {
+      MP_CHECK_MSG(fields.size() >= 3, ".latch needs input and output");
+      latches.emplace_back(std::string(fields[1]), std::string(fields[2]));
+      current = nullptr;
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      // Ignore unsupported directives (.default_input_arrival etc.).
+      current = nullptr;
+    } else {
+      MP_CHECK_MSG(current != nullptr, "BLIF cover row outside .names");
+      current->rows.push_back(line);
+    }
+  }
+
+  // Create PIs (declared inputs + latch outputs).
+  for (const std::string& name : input_names) net.add_pi(name);
+  for (const auto& [li, lo] : latches)
+    if (net.find(lo) == kNoNode) net.add_pi(lo);
+
+  // Create internal nodes in dependency order: iterate until all placed.
+  std::vector<bool> placed(gates.size(), false);
+  std::size_t remaining = gates.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+      if (placed[gi]) continue;
+      const RawGate& g = gates[gi];
+      const std::size_t num_inputs = g.signals.size() - 1;
+      bool ready = true;
+      for (std::size_t i = 0; i < num_inputs && ready; ++i)
+        if (net.find(g.signals[i]) == kNoNode) ready = false;
+      if (!ready) continue;
+
+      const std::string& out_name = g.signals.back();
+      MP_CHECK_MSG(net.find(out_name) == kNoNode,
+                   ("BLIF signal driven twice: " + out_name).c_str());
+      Cover cover = cover_from_rows(g, num_inputs);
+      if (num_inputs == 0 || cover.is_zero() || cover.is_one()) {
+        net.add_constant(cover.is_one(), out_name);
+      } else {
+        std::vector<NodeId> fanins;
+        fanins.reserve(num_inputs);
+        for (std::size_t i = 0; i < num_inputs; ++i)
+          fanins.push_back(net.find(g.signals[i]));
+        // Drop fanins the normalized cover no longer mentions? Keep as-is;
+        // sweep handles redundancy later.
+        net.add_node(std::move(fanins), std::move(cover), out_name);
+      }
+      placed[gi] = true;
+      --remaining;
+      progress = true;
+    }
+    MP_CHECK_MSG(progress, "BLIF gates form a cycle or use undefined signals");
+  }
+
+  for (const std::string& name : output_names) {
+    const NodeId driver = net.find(name);
+    MP_CHECK_MSG(driver != kNoNode,
+                 ("BLIF output is undriven: " + name).c_str());
+    net.add_po(name, driver);
+  }
+  for (const auto& [li, lo] : latches) {
+    const NodeId driver = net.find(li);
+    MP_CHECK_MSG(driver != kNoNode,
+                 ("BLIF latch input is undriven: " + li).c_str());
+    // Pseudo-PO named after the latch *output*: "<state>__next" is the next
+    // value of pseudo-PI <state>, which is what sequential analysis pairs.
+    net.add_po(lo + "__next", driver);
+  }
+  net.check();
+  return net;
+}
+
+Network read_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_blif(in);
+}
+
+Network read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  MP_CHECK_MSG(in.good(), ("cannot open BLIF file: " + path).c_str());
+  return read_blif(in);
+}
+
+void write_blif(const Network& net, std::ostream& out) {
+  out << ".model " << (net.name().empty() ? "top" : net.name()) << "\n";
+  out << ".inputs";
+  for (NodeId pi : net.pis()) out << ' ' << net.node(pi).name;
+  out << "\n.outputs";
+  for (const PrimaryOutput& po : net.pos()) out << ' ' << po.name;
+  out << "\n";
+
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kConstant0) {
+      out << ".names " << n.name << "\n";  // empty cover = constant 0
+    } else if (n.kind == NodeKind::kConstant1) {
+      out << ".names " << n.name << "\n1\n";
+    } else if (n.is_internal()) {
+      out << ".names";
+      for (NodeId f : n.fanins) out << ' ' << net.node(f).name;
+      out << ' ' << n.name << "\n";
+      for (const Cube& c : n.cover.cubes()) {
+        for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+          if (c.has_pos(static_cast<int>(i))) out << '1';
+          else if (c.has_neg(static_cast<int>(i))) out << '0';
+          else out << '-';
+        }
+        out << " 1\n";
+      }
+    }
+  }
+  // POs whose name differs from the driver need a buffer in BLIF.
+  for (const PrimaryOutput& po : net.pos()) {
+    const std::string& dn = net.node(po.driver).name;
+    if (dn != po.name)
+      out << ".names " << dn << ' ' << po.name << "\n1 1\n";
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Network& net) {
+  std::ostringstream out;
+  write_blif(net, out);
+  return out.str();
+}
+
+}  // namespace minpower

@@ -1,0 +1,28 @@
+#pragma once
+// Berkeley Logic Interchange Format (BLIF) reader and writer.
+//
+// Supported subset: .model/.inputs/.outputs/.names/.end, '-' don't-cares,
+// single-output covers in either ON-set (output column 1) or OFF-set
+// (output column 0) form, '\' line continuation, '#' comments, and .latch
+// (converted to a pseudo-PI for the latch output plus a pseudo-PO for the
+// latch input — the standard combinational-core view of sequential
+// benchmarks, which is how the paper evaluates ISCAS-89 circuits).
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace minpower {
+
+/// Parse a BLIF model. Aborts with a diagnostic on malformed input.
+Network read_blif(std::istream& in);
+Network read_blif_string(const std::string& text);
+Network read_blif_file(const std::string& path);
+
+/// Serialize as BLIF (ON-set covers).
+void write_blif(const Network& net, std::ostream& out);
+std::string write_blif_string(const Network& net);
+
+}  // namespace minpower

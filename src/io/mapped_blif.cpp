@@ -1,0 +1,198 @@
+#include "io/mapped_blif.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace minpower {
+
+void write_mapped_blif(const MappedNetwork& mn, std::ostream& out) {
+  const Network& subject = *mn.subject;
+  out << ".model "
+      << (subject.name().empty() ? "mapped" : subject.name() + "_mapped")
+      << "\n.inputs";
+  for (NodeId pi : subject.pis()) out << ' ' << subject.node(pi).name;
+  out << "\n.outputs";
+  for (std::size_t i = 0; i < subject.pos().size(); ++i)
+    out << ' ' << subject.pos()[i].name;
+  out << "\n";
+  // Constant signals referenced by POs (gates never read constants after
+  // sweep, but a PO can be tied off). Emit each once.
+  {
+    std::vector<NodeId> consts;
+    for (NodeId s : mn.po_signal)
+      if (subject.node(s).is_const()) consts.push_back(s);
+    std::sort(consts.begin(), consts.end());
+    consts.erase(std::unique(consts.begin(), consts.end()), consts.end());
+    for (NodeId s : consts) {
+      const Node& n = subject.node(s);
+      out << ".names " << n.name << "\n";
+      if (n.kind == NodeKind::kConstant1) out << "1\n";
+    }
+  }
+  for (const MappedGateInst& g : mn.gates) {
+    out << ".gate " << g.gate->name;
+    for (std::size_t i = 0; i < g.pin_nodes.size(); ++i)
+      out << ' ' << g.gate->pins[i].name << '='
+          << subject.node(g.pin_nodes[i]).name;
+    out << ' ' << g.gate->output << '=' << subject.node(g.root).name << "\n";
+  }
+  // PO aliases.
+  for (std::size_t i = 0; i < subject.pos().size(); ++i) {
+    const std::string& sig = subject.node(mn.po_signal[i]).name;
+    if (sig != subject.pos()[i].name)
+      out << ".names " << sig << ' ' << subject.pos()[i].name << "\n1 1\n";
+  }
+  out << ".end\n";
+}
+
+std::string write_mapped_blif_string(const MappedNetwork& mn) {
+  std::ostringstream out;
+  write_mapped_blif(mn, out);
+  return out.str();
+}
+
+ParsedMappedNetwork read_mapped_blif_string(const std::string& text,
+                                            const Library& lib) {
+  ParsedMappedNetwork result;
+  result.subject = std::make_unique<Network>();
+  Network& net = *result.subject;
+
+  struct RawGate {
+    const Gate* gate;
+    std::vector<std::string> pin_signal;  // per gate pin
+    std::string out_signal;
+  };
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<RawGate> gates;
+  std::vector<std::pair<std::string, std::string>> aliases;  // src → po name
+  std::vector<std::pair<std::string, bool>> constants;       // name, value
+
+  std::istringstream in(text);
+  std::string line;
+  bool expect_alias_row = false;
+  std::string pending_const;  // .names with one signal: constant definition
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    if (expect_alias_row) {
+      MP_CHECK_MSG(fields.size() == 2 && fields[0] == "1" && fields[1] == "1",
+                   "mapped BLIF .names must be a buffer");
+      expect_alias_row = false;
+      continue;
+    }
+    if (!pending_const.empty()) {
+      if (fields.size() == 1 && fields[0] == "1") {
+        constants.emplace_back(pending_const, true);
+        pending_const.clear();
+        continue;
+      }
+      constants.emplace_back(pending_const, false);
+      pending_const.clear();
+      // fall through: the current line still needs processing
+    }
+    if (fields[0] == ".model") continue;
+    if (fields[0] == ".end") break;
+    if (fields[0] == ".inputs") {
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        input_names.emplace_back(fields[i]);
+    } else if (fields[0] == ".outputs") {
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        output_names.emplace_back(fields[i]);
+    } else if (fields[0] == ".gate") {
+      MP_CHECK_MSG(fields.size() >= 3, ".gate needs cell and bindings");
+      RawGate g;
+      g.gate = lib.find(std::string(fields[1]));
+      MP_CHECK_MSG(g.gate != nullptr,
+                   ("unknown cell: " + std::string(fields[1])).c_str());
+      g.pin_signal.resize(g.gate->pins.size());
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        const auto eq = fields[i].find('=');
+        MP_CHECK_MSG(eq != std::string_view::npos, ".gate binding needs '='");
+        const std::string pin(fields[i].substr(0, eq));
+        const std::string sig(fields[i].substr(eq + 1));
+        if (pin == g.gate->output) {
+          g.out_signal = sig;
+        } else {
+          bool found = false;
+          for (std::size_t p = 0; p < g.gate->pins.size(); ++p)
+            if (g.gate->pins[p].name == pin) {
+              g.pin_signal[p] = sig;
+              found = true;
+            }
+          MP_CHECK_MSG(found, ("unknown pin: " + pin).c_str());
+        }
+      }
+      MP_CHECK_MSG(!g.out_signal.empty(), ".gate output binding missing");
+      for (const std::string& s : g.pin_signal)
+        MP_CHECK_MSG(!s.empty(), ".gate input binding missing");
+      gates.push_back(std::move(g));
+    } else if (fields[0] == ".names") {
+      if (fields.size() == 2) {
+        pending_const = std::string(fields[1]);
+      } else {
+        MP_CHECK_MSG(fields.size() == 3,
+                     "mapped BLIF .names may only alias a PO or define a "
+                     "constant");
+        aliases.emplace_back(std::string(fields[1]), std::string(fields[2]));
+        expect_alias_row = true;
+      }
+    }
+  }
+  if (!pending_const.empty()) constants.emplace_back(pending_const, false);
+
+  for (const std::string& name : input_names) net.add_pi(name);
+  for (const auto& [name, value] : constants) net.add_constant(value, name);
+
+  // Place gates in dependency order; each becomes one node carrying the
+  // cell's SOP over its pin signals.
+  std::vector<bool> placed(gates.size(), false);
+  std::size_t remaining = gates.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+      if (placed[gi]) continue;
+      const RawGate& g = gates[gi];
+      bool ready = true;
+      for (const std::string& s : g.pin_signal)
+        if (net.find(s) == kNoNode) ready = false;
+      if (!ready) continue;
+      std::vector<NodeId> fanins;
+      for (const std::string& s : g.pin_signal) fanins.push_back(net.find(s));
+      const Cover cover =
+          cover_from_expr(*g.gate->function, g.gate->function->variables());
+      const NodeId root = net.add_node(fanins, cover, g.out_signal);
+      MappedGateInst inst;
+      inst.gate = g.gate;
+      inst.root = root;
+      inst.pin_nodes = std::move(fanins);
+      result.mapped.gates.push_back(std::move(inst));
+      placed[gi] = true;
+      --remaining;
+      progress = true;
+    }
+    MP_CHECK_MSG(progress, "mapped BLIF gates form a cycle");
+  }
+
+  std::unordered_map<std::string, std::string> alias_of;  // po name → src
+  for (const auto& [src, po] : aliases) alias_of[po] = src;
+  for (const std::string& po : output_names) {
+    const std::string& sig = alias_of.contains(po) ? alias_of[po] : po;
+    const NodeId driver = net.find(sig);
+    MP_CHECK_MSG(driver != kNoNode, ("undriven output: " + po).c_str());
+    net.add_po(po, driver);
+    result.mapped.po_signal.push_back(driver);
+  }
+  net.check();
+  result.mapped.subject = result.subject.get();
+  result.mapped.lib = &lib;
+  result.mapped.check();
+  return result;
+}
+
+}  // namespace minpower

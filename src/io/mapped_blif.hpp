@@ -1,0 +1,35 @@
+#pragma once
+// Mapped-netlist interchange: the SIS ".gate" BLIF dialect.
+//
+//   .model name
+//   .inputs ...
+//   .outputs ...
+//   .gate <cell> <pin>=<signal> ... <output-pin>=<signal>
+//   .end
+//
+// The writer names each signal after its subject-graph node; the reader
+// resolves cells against a Library and reconstructs a MappedNetwork over a
+// freshly built subject network whose nodes carry the gates' SOPs (so the
+// result can be re-verified, re-timed and re-scored like any other mapping).
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "map/mapped.hpp"
+
+namespace minpower {
+
+void write_mapped_blif(const MappedNetwork& mn, std::ostream& out);
+std::string write_mapped_blif_string(const MappedNetwork& mn);
+
+/// Parse a .gate-style mapped BLIF. The returned bundle owns the subject
+/// network the MappedNetwork points into.
+struct ParsedMappedNetwork {
+  std::unique_ptr<Network> subject;
+  MappedNetwork mapped;
+};
+ParsedMappedNetwork read_mapped_blif_string(const std::string& text,
+                                            const Library& lib);
+
+}  // namespace minpower

@@ -1,0 +1,82 @@
+#pragma once
+// Gate library with the pin-dependent SIS delay model (Sec. 3.1, Eq. 14):
+//   arrival(n,g,C) = max_i ( τ_i,g + R_i,g · C + arrival(input_i) )
+// Each pin carries an input capacitance, an intrinsic (block) delay τ and a
+// drive resistance R (the fanout-delay coefficient). Capacitance is in
+// abstract "unit loads"; `kUnitCapFarads` converts to Farads for the power
+// formula of Eq. 1.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "library/expr.hpp"
+#include "library/pattern.hpp"
+
+namespace minpower {
+
+/// One capacitance unit in Farads (10 fF): keeps mapped power in the µW
+/// range the paper reports at Vdd = 5 V, 20 MHz.
+inline constexpr double kUnitCapFarads = 1e-14;
+
+struct GatePin {
+  std::string name;
+  double cap = 1.0;        // input capacitance, unit loads
+  double intrinsic = 0.0;  // block delay, ns
+  double drive = 0.0;      // drive resistance: ns per unit load
+};
+
+struct Gate {
+  std::string name;
+  double area = 0.0;
+  std::string output;
+  std::unique_ptr<Expr> function;
+  std::vector<GatePin> pins;                        // order = leaf pin index
+  std::vector<std::unique_ptr<Pattern>> patterns;   // NAND2/INV trees
+
+  int num_inputs() const { return static_cast<int>(pins.size()); }
+
+  /// Worst-case delay through the gate at load C (used for reporting).
+  double worst_delay(double load) const;
+
+  /// Largest drive resistance over pins (for curve shifting).
+  double max_drive() const;
+};
+
+class Library {
+ public:
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::string& name() const { return name_; }
+
+  const Gate* find(const std::string& gate_name) const;
+
+  /// Smallest-area inverter / NAND2 (must exist in any usable library).
+  const Gate& inverter() const;
+  const Gate& nand2() const;
+
+  /// Default load during postorder traversal: the input capacitance of the
+  /// smallest 2-input NAND (Sec. 3.2.3).
+  double default_load() const;
+
+  static Library parse_genlib(const std::string& text,
+                              std::string name = "genlib");
+
+  /// Serialize back to genlib text (pin-per-line form). Round-trips through
+  /// parse_genlib up to the lossy block/fanout split (intrinsic and drive
+  /// are emitted as both rise and fall values).
+  std::string to_genlib() const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  int inverter_index_ = -1;
+  int nand2_index_ = -1;
+};
+
+/// The embedded lib2-like library used by the experiments.
+const Library& standard_library();
+
+/// Its genlib source text (also usable to test the parser round trip).
+const std::string& standard_library_genlib();
+
+}  // namespace minpower

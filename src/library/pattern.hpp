@@ -1,0 +1,48 @@
+#pragma once
+// NAND2/INV pattern trees for structural matching (DAGON/MIS style).
+//
+// Every library gate's function is rewritten over the {NAND2, INV} basis.
+// Associative operators admit multiple binary groupings, so one gate yields
+// several structurally distinct patterns; the matcher tries them all. Leaves
+// carry pin indices; a pin appearing several times (XOR-like gates) makes
+// the pattern a leaf-DAG, which the matcher supports through binding
+// consistency.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "library/expr.hpp"
+
+namespace minpower {
+
+struct Pattern {
+  enum class Kind { kLeaf, kInv, kNand };
+  Kind kind = Kind::kLeaf;
+  int pin = -1;                          // kLeaf
+  std::vector<std::unique_ptr<Pattern>> child;
+
+  static std::unique_ptr<Pattern> leaf(int pin);
+  static std::unique_ptr<Pattern> inv(std::unique_ptr<Pattern> c);
+  static std::unique_ptr<Pattern> nand(std::unique_ptr<Pattern> a,
+                                       std::unique_ptr<Pattern> b);
+
+  std::unique_ptr<Pattern> clone() const;
+
+  /// Canonical string (children of NAND ordered), used for deduplication.
+  std::string canonical() const;
+
+  /// Number of internal (NAND/INV) nodes — the subject nodes a match covers.
+  int size() const;
+
+  int depth() const;
+};
+
+/// All structurally distinct NAND2/INV patterns realizing `expr`, where pin
+/// name i of `pin_names` maps to leaf index i. `max_patterns` caps the
+/// enumeration for wide gates.
+std::vector<std::unique_ptr<Pattern>> generate_patterns(
+    const Expr& expr, const std::vector<std::string>& pin_names,
+    std::size_t max_patterns = 64);
+
+}  // namespace minpower

@@ -1,0 +1,75 @@
+#include "map/curve.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace minpower {
+
+void Curve::insert(CurvePoint p) {
+  // Position by arrival.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), p.arrival,
+      [](const CurvePoint& q, double t) { return q.arrival < t; });
+  // Inferior to an existing point (faster-or-equal and cheaper-or-equal)?
+  for (auto q = points_.begin(); q != it; ++q)
+    if (q->cost <= p.cost) return;
+  if (it != points_.end() && it->arrival == p.arrival && it->cost <= p.cost)
+    return;
+  // Remove points the new one dominates (slower and not cheaper).
+  const auto first_dominated = it;
+  auto last_dominated = it;
+  while (last_dominated != points_.end() && last_dominated->cost >= p.cost)
+    ++last_dominated;
+  it = points_.erase(first_dominated, last_dominated);
+  points_.insert(it, std::move(p));
+}
+
+void Curve::prune(double epsilon_t, double epsilon_c) {
+  if (points_.size() <= 2) return;
+  std::vector<CurvePoint> kept;
+  kept.push_back(points_.front());  // fastest
+  for (std::size_t i = 1; i + 1 < points_.size(); ++i) {
+    const CurvePoint& prev = kept.back();
+    const CurvePoint& cur = points_[i];
+    if (cur.arrival - prev.arrival < epsilon_t) continue;  // barely slower
+    if (prev.cost - cur.cost < epsilon_c) continue;        // barely cheaper
+    kept.push_back(cur);
+  }
+  kept.push_back(points_.back());  // cheapest
+  points_ = std::move(kept);
+}
+
+int Curve::best_within(double required, double load_shift) const {
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const double t = points_[i].arrival + load_shift * points_[i].drive;
+    if (t <= required && points_[i].cost < best_cost) {
+      best_cost = points_[i].cost;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int Curve::fastest() const {
+  if (points_.empty()) return -1;
+  // Shifts are uniform in sign; the unshifted fastest is index 0, but with
+  // per-point drives the shifted minimum can move — scan to stay correct.
+  int best = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].arrival < points_[static_cast<std::size_t>(best)].arrival)
+      best = static_cast<int>(i);
+  return best;
+}
+
+int Curve::cheapest() const {
+  if (points_.empty()) return -1;
+  int best = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].cost < points_[static_cast<std::size_t>(best)].cost)
+      best = static_cast<int>(i);
+  return best;
+}
+
+}  // namespace minpower

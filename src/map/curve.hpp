@@ -1,0 +1,54 @@
+#pragma once
+// Power-delay (or area-delay) curves: sets of non-inferior
+// (arrival, cost) points per subject node (Sec. 3.1, Lemma 3.1).
+//
+// A point additionally records how it is realized — the match index at the
+// node, the chosen point index on each input's curve, and the drive
+// resistance of the matched gate — so the preorder pass can rebuild the
+// mapping and the unknown-load recalculation (Sec. 3.2.3) can shift the
+// point's arrival by Δload × drive.
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace minpower {
+
+struct CurvePoint {
+  double arrival = 0.0;  // at the node output, under the default load
+  double cost = 0.0;     // accumulated power (Method 1) or area
+  int match = -1;        // index into the node's match list (-1 for leaves)
+  std::vector<int> input_point;  // chosen curve point per match input pin
+  double drive = 0.0;    // max drive resistance R of the matched gate
+};
+
+class Curve {
+ public:
+  const std::vector<CurvePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const CurvePoint& operator[](std::size_t i) const { return points_[i]; }
+
+  /// Insert keeping only non-inferior points; points_ stays sorted by
+  /// arrival ascending (hence cost strictly descending).
+  void insert(CurvePoint p);
+
+  /// Drop points whose arrival is within `epsilon_t` of a cheaper neighbor,
+  /// or whose cost is within `epsilon_c` (Sec. 3.2.1's ε-pruning). Endpoints
+  /// (fastest and cheapest) are always kept.
+  void prune(double epsilon_t, double epsilon_c);
+
+  /// Index of the cheapest point with arrival ≤ `required` after shifting
+  /// each point by `load_shift × point.drive`; −1 when none qualifies.
+  int best_within(double required, double load_shift = 0.0) const;
+
+  /// Index of the minimum-arrival point (−1 when empty).
+  int fastest() const;
+  /// Index of the minimum-cost point (−1 when empty).
+  int cheapest() const;
+
+ private:
+  std::vector<CurvePoint> points_;
+};
+
+}  // namespace minpower

@@ -1,0 +1,67 @@
+#include "map/mapped.hpp"
+
+#include <algorithm>
+
+namespace minpower {
+
+double MappedNetwork::total_area() const {
+  double a = 0.0;
+  for (const MappedGateInst& g : gates) a += g.gate->area;
+  return a;
+}
+
+int MappedNetwork::driver_of(NodeId signal) const {
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    if (gates[i].root == signal) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<bool> MappedNetwork::eval(
+    const std::vector<bool>& pi_values) const {
+  MP_CHECK(pi_values.size() == subject->pis().size());
+  std::unordered_map<NodeId, bool> value;
+  for (std::size_t i = 0; i < subject->pis().size(); ++i)
+    value[subject->pis()[i]] = pi_values[i];
+  for (NodeId id = 0; id < static_cast<NodeId>(subject->capacity()); ++id)
+    if (subject->node(id).is_const())
+      value[id] = subject->node(id).kind == NodeKind::kConstant1;
+
+  for (const MappedGateInst& g : gates) {
+    const std::vector<std::string> names = g.gate->function->variables();
+    std::vector<bool> inputs;
+    inputs.reserve(g.pin_nodes.size());
+    for (NodeId s : g.pin_nodes) {
+      const auto it = value.find(s);
+      MP_CHECK_MSG(it != value.end(), "mapped gate reads an undriven signal");
+      inputs.push_back(it->second);
+    }
+    value[g.root] = g.gate->function->eval(names, inputs);
+  }
+
+  std::vector<bool> out;
+  out.reserve(po_signal.size());
+  for (NodeId s : po_signal) {
+    const auto it = value.find(s);
+    MP_CHECK_MSG(it != value.end(), "mapped PO is undriven");
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void MappedNetwork::check() const {
+  std::unordered_map<NodeId, bool> defined;
+  for (NodeId pi : subject->pis()) defined[pi] = true;
+  for (NodeId id = 0; id < static_cast<NodeId>(subject->capacity()); ++id)
+    if (subject->node(id).is_const()) defined[id] = true;
+  for (const MappedGateInst& g : gates) {
+    MP_CHECK(g.gate != nullptr);
+    MP_CHECK(static_cast<int>(g.pin_nodes.size()) == g.gate->num_inputs());
+    for (NodeId s : g.pin_nodes)
+      MP_CHECK_MSG(defined.contains(s), "gate pin reads later/undriven signal");
+    MP_CHECK_MSG(!defined.contains(g.root), "signal driven twice");
+    defined[g.root] = true;
+  }
+  for (NodeId s : po_signal) MP_CHECK(defined.contains(s));
+}
+
+}  // namespace minpower

@@ -1,0 +1,46 @@
+#pragma once
+// The result of technology mapping: a gate-level netlist over a library.
+//
+// Signals are identified by subject-graph node ids: every mapped gate
+// implements the function of one subject node (its root), and reads signals
+// that are either subject PIs/constants or roots of other mapped gates.
+
+#include <unordered_map>
+#include <vector>
+
+#include "library/library.hpp"
+#include "netlist/network.hpp"
+
+namespace minpower {
+
+struct MappedGateInst {
+  const Gate* gate = nullptr;
+  NodeId root = kNoNode;            // subject node implemented
+  std::vector<NodeId> pin_nodes;    // signal per pin (Gate::pins order)
+};
+
+struct MappedNetwork {
+  const Network* subject = nullptr;
+  const Library* lib = nullptr;
+  /// Gates in topological order (pin signals precede their reader).
+  std::vector<MappedGateInst> gates;
+  /// Driver signal per subject PO (subject node id; a PI, constant, or
+  /// some gate's root).
+  std::vector<NodeId> po_signal;
+
+  std::size_t num_gates() const { return gates.size(); }
+  double total_area() const;
+
+  /// gate index driving a signal; −1 for PIs/constants.
+  int driver_of(NodeId signal) const;
+
+  /// Evaluate the netlist on PI values (subject PI order) by gate-function
+  /// simulation. Used to verify the mapping preserves network function.
+  std::vector<bool> eval(const std::vector<bool>& pi_values) const;
+
+  /// Structural sanity: every pin signal is a PI, constant, or an earlier
+  /// gate's root; every PO signal is driven. Aborts on violation.
+  void check() const;
+};
+
+}  // namespace minpower

@@ -1,0 +1,270 @@
+#include "map/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace minpower {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct InputCand {
+  double t;      // contribution to the node's output arrival
+  double cost;   // accumulated cost if this input point is chosen
+  int point;     // index on the input's curve
+};
+
+}  // namespace
+
+MapResult map_network(const Network& subject, const Library& lib,
+                      const MapOptions& options) {
+  subject.check();
+  for (NodeId id = 0; id < static_cast<NodeId>(subject.capacity()); ++id) {
+    const Node& n = subject.node(id);
+    if (n.is_internal())
+      MP_CHECK_MSG(subject.is_nand2(id) || subject.is_inv(id),
+                   "mapper requires a NAND2/INV subject network");
+  }
+
+  const std::vector<double> activity =
+      options.activities.empty()
+          ? switching_activities(subject, options.style, options.pi_prob1)
+          : options.activities;
+  MP_CHECK(activity.size() == subject.capacity());
+  const double c_def = lib.default_load();
+  const std::vector<NodeId> topo = subject.topo_order();
+
+  MapResult result;
+  std::vector<Curve> curve(subject.capacity());
+  std::vector<std::vector<Match>> matches(subject.capacity());
+
+  // ---- postorder: power-delay / area-delay curves --------------------------
+  for (NodeId id : topo) {
+    const Node& n = subject.node(id);
+    if (n.is_pi() || n.is_const()) {
+      CurvePoint p;
+      if (n.is_pi()) {
+        const auto it =
+            std::find(subject.pis().begin(), subject.pis().end(), id);
+        const std::size_t pi_index =
+            static_cast<std::size_t>(it - subject.pis().begin());
+        p.arrival = options.pi_arrival.empty() ? 0.0
+                                               : options.pi_arrival[pi_index];
+      }
+      curve[static_cast<std::size_t>(id)].insert(p);
+      continue;
+    }
+
+    std::vector<Match>& ms = matches[static_cast<std::size_t>(id)];
+    ms = find_matches(subject, id, lib);
+    // Degenerate (zero-size) patterns are rejected by the matcher caller:
+    std::erase_if(ms, [](const Match& m) {
+      return m.covered.empty();
+    });
+    MP_CHECK_MSG(!ms.empty(), "no match at subject node (library too small)");
+    result.total_matches += ms.size();
+
+    Curve& out = curve[static_cast<std::size_t>(id)];
+    for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+      const Match& m = ms[mi];
+      const std::vector<GatePin>& pins = m.gate->pins;
+      const int k = m.gate->num_inputs();
+
+      // Candidate (t, cost) list per input, sorted by t with prefix-min cost.
+      std::vector<std::vector<InputCand>> cands(static_cast<std::size_t>(k));
+      bool feasible = true;
+      for (int i = 0; i < k && feasible; ++i) {
+        const NodeId s = m.pin_binding[static_cast<std::size_t>(i)];
+        const Curve& in = curve[static_cast<std::size_t>(s)];
+        MP_CHECK(!in.empty());
+        const double load_shift = pins[static_cast<std::size_t>(i)].cap - c_def;
+        const int fo = subject.fanout_count(s);
+        const bool divide = options.dag == DagHeuristic::kFanoutDivision &&
+                            subject.node(s).is_internal() && fo > 1;
+        auto& list = cands[static_cast<std::size_t>(i)];
+        for (std::size_t pi = 0; pi < in.size(); ++pi) {
+          const CurvePoint& p = in[pi];
+          InputCand c;
+          // Timing recalculation (Sec. 3.2.3): the input now drives this
+          // pin's capacitance instead of the default load.
+          c.t = pins[static_cast<std::size_t>(i)].intrinsic +
+                pins[static_cast<std::size_t>(i)].drive * c_def +
+                (p.arrival + load_shift * p.drive);
+          c.cost = divide ? p.cost / fo : p.cost;
+          if (options.objective == MapObjective::kPower &&
+              options.accounting == PowerAccounting::kMethod1) {
+            // Method 1 (Eq. 15): charge the input's output-load power here;
+            // the fanout-edge term is never divided (Sec. 3.1 discussion).
+            c.cost += load_power_uw(pins[static_cast<std::size_t>(i)].cap,
+                                    activity[static_cast<std::size_t>(s)],
+                                    options.vdd, options.t_cycle);
+          }
+          c.point = static_cast<int>(pi);
+          list.push_back(c);
+        }
+        std::sort(list.begin(), list.end(),
+                  [](const InputCand& a, const InputCand& b) {
+                    return a.t < b.t;
+                  });
+        // Prefix-min on cost: list[j] becomes "cheapest with t <= list[j].t".
+        for (std::size_t j = 1; j < list.size(); ++j)
+          if (list[j - 1].cost < list[j].cost) {
+            list[j].cost = list[j - 1].cost;
+            list[j].point = list[j - 1].point;
+          }
+        if (list.empty()) feasible = false;
+      }
+      if (!feasible) continue;
+
+      // Output arrival candidates: every input candidate t is a breakpoint.
+      std::vector<double> ts;
+      for (const auto& list : cands)
+        for (const InputCand& c : list) ts.push_back(c.t);
+      std::sort(ts.begin(), ts.end());
+      ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+      for (double t : ts) {
+        double cost =
+            options.objective == MapObjective::kArea ? m.gate->area : 0.0;
+        if (options.objective == MapObjective::kPower &&
+            options.accounting == PowerAccounting::kMethod2) {
+          // Method 2 (Eq. 16): the node's own output power with the default
+          // (unknown) load; inherits the fanout division of its readers.
+          cost += load_power_uw(c_def, activity[static_cast<std::size_t>(id)],
+                                options.vdd, options.t_cycle);
+        }
+        std::vector<int> chosen(static_cast<std::size_t>(k), -1);
+        bool ok = true;
+        for (int i = 0; i < k && ok; ++i) {
+          const auto& list = cands[static_cast<std::size_t>(i)];
+          // Last candidate with t_i <= t (they are sorted by t, prefix-min).
+          const auto it = std::upper_bound(
+              list.begin(), list.end(), t,
+              [](double x, const InputCand& c) { return x < c.t; });
+          if (it == list.begin()) {
+            ok = false;
+            break;
+          }
+          const InputCand& c = *(it - 1);
+          cost += c.cost;
+          chosen[static_cast<std::size_t>(i)] = c.point;
+        }
+        if (!ok) continue;
+        CurvePoint p;
+        p.arrival = t;
+        p.cost = cost;
+        p.match = static_cast<int>(mi);
+        p.input_point = chosen;
+        p.drive = m.gate->max_drive();
+        out.insert(std::move(p));
+      }
+    }
+    out.prune(options.epsilon_t, options.epsilon_c);
+    MP_CHECK(!out.empty());
+    result.total_curve_points += out.size();
+  }
+
+  // ---- required times at the primary outputs -------------------------------
+  std::vector<double> load(subject.capacity(), 0.0);  // committed loads
+  for (const PrimaryOutput& po : subject.pos())
+    load[static_cast<std::size_t>(po.driver)] += options.po_load;
+
+  std::vector<double> required(subject.capacity(), kInf);
+  result.po_required_used.resize(subject.pos().size(), kInf);
+  for (std::size_t j = 0; j < subject.pos().size(); ++j) {
+    const NodeId d = subject.pos()[j].driver;
+    const Curve& c = curve[static_cast<std::size_t>(d)];
+    double req = kInf;
+    if (!options.po_required.empty()) {
+      req = options.po_required[j];
+    } else if (options.policy != RequiredTimePolicy::kUnconstrained) {
+      // Fastest achievable arrival at this PO, accounting for the PO load.
+      const double shift = load[static_cast<std::size_t>(d)] - c_def;
+      double tmin = kInf;
+      for (std::size_t i = 0; i < c.size(); ++i)
+        tmin = std::min(tmin, c[i].arrival + shift * c[i].drive);
+      req = options.policy == RequiredTimePolicy::kMinDelay
+                ? tmin
+                : tmin * options.relax_factor;
+    }
+    result.po_required_used[j] = req;
+    auto& r = required[static_cast<std::size_t>(d)];
+    r = std::min(r, req);
+  }
+
+  // ---- preorder (reverse-topological) gate selection ------------------------
+  // Readers are selected before their inputs, so by the time a node is
+  // selected every committed pin load on it is known exactly — the
+  // incremental load recalculation of Sec. 3.3.
+  std::vector<char> needed(subject.capacity(), 0);
+  std::vector<int> chosen_point(subject.capacity(), -1);
+  for (const PrimaryOutput& po : subject.pos())
+    needed[static_cast<std::size_t>(po.driver)] = 1;
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    if (!needed[static_cast<std::size_t>(id)]) continue;
+    const Node& n = subject.node(id);
+    if (!n.is_internal()) continue;
+
+    const Curve& c = curve[static_cast<std::size_t>(id)];
+    const double shift = load[static_cast<std::size_t>(id)] - c_def;
+    int idx = c.best_within(required[static_cast<std::size_t>(id)], shift);
+    if (idx < 0) {
+      // Timing infeasible: take the fastest realization.
+      idx = 0;
+      double best = kInf;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        const double t = c[i].arrival + shift * c[i].drive;
+        if (t < best) {
+          best = t;
+          idx = static_cast<int>(i);
+        }
+      }
+    }
+    chosen_point[static_cast<std::size_t>(id)] = idx;
+
+    const CurvePoint& p = c[static_cast<std::size_t>(idx)];
+    const Match& m =
+        matches[static_cast<std::size_t>(id)][static_cast<std::size_t>(p.match)];
+    for (int i = 0; i < m.gate->num_inputs(); ++i) {
+      const NodeId s = m.pin_binding[static_cast<std::size_t>(i)];
+      needed[static_cast<std::size_t>(s)] = 1;
+      load[static_cast<std::size_t>(s)] +=
+          m.gate->pins[static_cast<std::size_t>(i)].cap;
+      const double req_i = required[static_cast<std::size_t>(id)] -
+                           m.gate->pins[static_cast<std::size_t>(i)].intrinsic -
+                           m.gate->pins[static_cast<std::size_t>(i)].drive *
+                               load[static_cast<std::size_t>(id)];
+      auto& r = required[static_cast<std::size_t>(s)];
+      r = std::min(r, req_i);
+    }
+  }
+
+  // ---- emit the mapped netlist ----------------------------------------------
+  MappedNetwork& mn = result.mapped;
+  mn.subject = &subject;
+  mn.lib = &lib;
+  for (NodeId id : topo) {
+    if (!needed[static_cast<std::size_t>(id)]) continue;
+    if (chosen_point[static_cast<std::size_t>(id)] < 0) continue;
+    const Curve& c = curve[static_cast<std::size_t>(id)];
+    const CurvePoint& p =
+        c[static_cast<std::size_t>(chosen_point[static_cast<std::size_t>(id)])];
+    const Match& m =
+        matches[static_cast<std::size_t>(id)][static_cast<std::size_t>(p.match)];
+    MappedGateInst inst;
+    inst.gate = m.gate;
+    inst.root = id;
+    inst.pin_nodes = m.pin_binding;
+    mn.gates.push_back(std::move(inst));
+  }
+  for (const PrimaryOutput& po : subject.pos())
+    mn.po_signal.push_back(po.driver);
+  mn.check();
+  return result;
+}
+
+}  // namespace minpower

@@ -1,0 +1,97 @@
+#pragma once
+// Power-efficient technology mapping (Section 3).
+//
+// Curves of non-inferior (arrival, cost) points are computed for every
+// subject node in postorder (Sec. 3.2.1), where cost is either accumulated
+// average power (pd-map, Method 1 of Sec. 3.1) or accumulated area (the
+// ad-map baseline of Chaudhary–Pedram that Methods I–III use). A preorder
+// pass (Sec. 3.2.2) then selects, for each primary output's required time,
+// the minimum-cost realization, applying the unknown-load timing
+// recalculation of Sec. 3.2.3 (arrival shift = Δload × drive).
+//
+// DAG handling (Sec. 3.3): matches never swallow multi-fanout nodes; the
+// two published heuristics differ in how a multi-fanout input's accumulated
+// cost is charged — once per reader (tree partition, DAGON-style) or
+// divided by its fanout count (the MIS-style heuristic the paper adopts).
+// Under Method 1 the fanout edge's own load power is never divided.
+
+#include <vector>
+
+#include "map/curve.hpp"
+#include "map/mapped.hpp"
+#include "map/match.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+
+enum class MapObjective {
+  kPower,  // pd-map: minimize average power under timing constraints
+  kArea,   // ad-map: minimize area under timing constraints (baseline)
+};
+
+enum class DagHeuristic {
+  kTreePartition,   // charge shared cones fully at every reader
+  kFanoutDivision,  // divide shared cone cost by fanout count (paper's pick)
+};
+
+/// The two ways of accumulating power during curve construction (Sec. 3.1).
+/// Method 1 (Eq. 15) charges each input's output-net power at the consuming
+/// match — exact under the zero-delay model, and the fanout-edge power is
+/// never divided in DAG mode. Method 2 (Eq. 16) charges the node's own
+/// output power with the default ("unknown") load — less accurate, and its
+/// fanout-edge power gets divided by the fanout count. The paper adopts
+/// Method 1; Method 2 is kept for the ablation.
+enum class PowerAccounting { kMethod1, kMethod2 };
+
+enum class RequiredTimePolicy {
+  kUnconstrained,    // pick the cheapest point everywhere
+  kMinDelay,         // required = fastest achievable arrival per PO
+  kRelaxedMinDelay,  // required = fastest · relax_factor (default flow)
+};
+
+struct MapOptions {
+  MapObjective objective = MapObjective::kPower;
+  DagHeuristic dag = DagHeuristic::kFanoutDivision;
+  CircuitStyle style = CircuitStyle::kStatic;
+  PowerAccounting accounting = PowerAccounting::kMethod1;
+
+  double vdd = 5.0;           // volts
+  double t_cycle = 50e-9;     // seconds (20 MHz)
+  double po_load = 2.0;       // unit loads hanging on each primary output
+
+  double epsilon_t = 0.02;    // curve ε-pruning, time axis (ns)
+  double epsilon_c = 0.0;     // curve ε-pruning, cost axis
+
+  RequiredTimePolicy policy = RequiredTimePolicy::kRelaxedMinDelay;
+  double relax_factor = 1.15;
+  std::vector<double> po_required;  // explicit required times (overrides)
+  std::vector<double> pi_arrival;   // per-PI arrival; empty → 0
+  std::vector<double> pi_prob1;     // per-PI 1-probability; empty → 0.5
+
+  /// Precomputed per-subject-node switching activities (indexed by NodeId).
+  /// Empty → computed internally from the BDDs; callers that score several
+  /// mappings of one subject should compute once and share.
+  std::vector<double> activities;
+};
+
+struct MapResult {
+  MappedNetwork mapped;
+  std::vector<double> po_required_used;  // constraint actually applied
+  std::size_t total_curve_points = 0;    // post-pruning, for the ε ablation
+  std::size_t total_matches = 0;
+};
+
+/// Map a NAND2/INV subject network onto `lib`. The subject must satisfy
+/// Network::is_nand_network(); every PO must be reachable from gates or PIs.
+MapResult map_network(const Network& subject, const Library& lib,
+                      const MapOptions& options);
+
+/// Per-µW scaling of Eq. 1 for a load in capacitance units:
+/// 0.5 · C · Vdd² / Tcycle · E, reported in micro-Watts.
+inline double load_power_uw(double cap_units, double activity, double vdd,
+                            double t_cycle) {
+  return 0.5 * cap_units * kUnitCapFarads * vdd * vdd / t_cycle * activity *
+         1e6;
+}
+
+}  // namespace minpower

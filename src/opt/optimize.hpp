@@ -1,0 +1,81 @@
+#pragma once
+// Technology-independent optimization substrate ("rugged-lite").
+//
+// The paper starts from circuits "optimized by the SIS rugged script" and
+// notes that fast-extract and quick decomposition leave the network's nodes
+// relatively simple before technology decomposition. This module provides
+// the equivalent preconditioning from scratch:
+//   * sweep        — dead logic, constants, buffer chains (Network::sweep)
+//   * eliminate    — collapse low-value nodes into their readers
+//   * fx-lite      — greedy extraction of common 2-literal cube divisors and
+//                    of shared kernels (the fast_extract work-alikes)
+//   * quick_decomp — break very wide SOPs into an OR tree of smaller nodes
+//   * rugged_lite  — the combined script
+//
+// All passes preserve network function (verified by BDD in the test suite)
+// and never grow node supports beyond the Cover limits.
+
+#include "netlist/network.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+
+struct OptStats {
+  int eliminated = 0;
+  int cube_divisors = 0;
+  int kernel_divisors = 0;
+  int split_nodes = 0;
+  int simplified = 0;
+  int swept = 0;
+};
+
+/// Collapse every internal, non-PO-driving node whose SIS-style value
+/// (readers−1)·(literals−1) − 1 is ≤ `value_threshold` into its readers.
+/// Returns the number of nodes eliminated.
+int eliminate(Network& net, int value_threshold = 0);
+
+/// Repeatedly extract the most frequent 2-literal cube divisor while its
+/// gain is positive. Returns divisors created.
+int extract_cube_divisors(Network& net, int max_rounds = 1000);
+
+/// Repeatedly extract the best shared kernel while its gain is positive.
+/// Returns divisors created.
+int extract_kernel_divisors(Network& net, int max_rounds = 200);
+
+/// Split nodes with more than `max_cubes` cubes into an OR of sub-nodes.
+int quick_decompose(Network& net, int max_cubes = 12);
+
+/// Replace each node's cover with an irredundant SOP of its local function
+/// (Minato–Morreale ISOP from the local BDD) when that shrinks it — the
+/// "node simplification" pass. Returns nodes improved.
+int simplify_nodes(Network& net);
+
+/// The full preconditioning script.
+OptStats rugged_lite(Network& net);
+
+// ---- power-aware extraction (the paper's Sec. 5 future-work direction) ----
+//
+// "The idea of generating nodes with minimum switching activity can be
+// extended to the technology independent phase of logic synthesis …
+// common sub-expression extraction … is still needed."
+//
+// The power-aware extractor scores a candidate divisor not only by literal
+// savings but also by the switching activity of the net the extraction
+// exposes: a shared cube with near-rail probability costs almost nothing to
+// expose, while a p≈0.5 divisor adds half a transition per cycle to every
+// clock. Score = (occurrences − 2) − beta · E(divisor).
+
+struct PowerOptOptions {
+  CircuitStyle style = CircuitStyle::kStatic;
+  std::vector<double> pi_prob1;  // empty → 0.5
+  double beta = 2.0;             // activity penalty weight
+  int max_rounds = 200;
+};
+
+/// Greedy power-aware 2-literal cube extraction. Returns divisors created.
+int extract_cube_divisors_power(Network& net, const PowerOptOptions& options);
+
+/// rugged-lite with the power-aware extractor in place of the plain one.
+OptStats rugged_lite_power(Network& net, const PowerOptOptions& options = {});
+
+}  // namespace minpower

@@ -1,0 +1,42 @@
+#pragma once
+// Post-mapping gate resizing: swap gates for functionally identical,
+// lower-power library cells wherever timing slack allows.
+//
+// The mapper's curves choose gate *shapes*; drive-strength selection inside
+// a cell family (inv1/inv2/inv4, …) is a classic post-pass. For each mapped
+// gate, in order of decreasing slack, try every library cell with the same
+// function and pin count; accept the swap that lowers the power cost
+// (input-capacitance × fanin activity) if the whole netlist still meets its
+// required times. The pass is greedy, timing-safe by re-analysis, and
+// always terminates (each accepted swap strictly lowers total power cost).
+
+#include "map/mapped.hpp"
+#include "power/report.hpp"
+
+namespace minpower {
+
+struct ResizeOptions {
+  PowerParams power;
+  /// Required time per PO; empty → the netlist's own initial arrival times
+  /// (resizing may not slow any output past its starting arrival).
+  std::vector<double> po_required;
+  int max_passes = 4;
+};
+
+struct ResizeResult {
+  int swaps = 0;
+  double power_before = 0.0;
+  double power_after = 0.0;
+  double delay_before = 0.0;
+  double delay_after = 0.0;
+};
+
+/// Resize gates of `mn` in place.
+ResizeResult downsize_gates(MappedNetwork& mn, const ResizeOptions& options);
+
+/// Library cells computing the same function as `g` over the same pin count
+/// (including `g` itself). Functions are compared by truth table with the
+/// pin order of each candidate aligned to `g`'s variable order.
+std::vector<const Gate*> equivalent_cells(const Library& lib, const Gate& g);
+
+}  // namespace minpower

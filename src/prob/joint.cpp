@@ -1,0 +1,21 @@
+#include "prob/joint.hpp"
+
+namespace minpower {
+
+JointProbabilities::JointProbabilities(std::vector<double> p1)
+    : n_(static_cast<int>(p1.size())) {
+  table_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                0.0);
+  for (int i = 0; i < n_; ++i) set(i, i, p1[static_cast<std::size_t>(i)]);
+}
+
+JointProbabilities JointProbabilities::independent(
+    const std::vector<double>& p1) {
+  JointProbabilities j(p1);
+  for (int a = 0; a < j.size(); ++a)
+    for (int b = a + 1; b < j.size(); ++b)
+      j.set(a, b, p1[static_cast<std::size_t>(a)] * p1[static_cast<std::size_t>(b)]);
+  return j;
+}
+
+}  // namespace minpower

@@ -1,0 +1,44 @@
+#pragma once
+// Pairwise joint probabilities of a signal set — the correlation
+// information the correlated weight-combination functions (Eqs. 7–9)
+// consume. Exactness depends on the producer: PatternModel computes these
+// from the input distribution; JointProbabilities::independent builds the
+// uncorrelated table.
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace minpower {
+
+/// joint(i,j) = P(signal_i = 1 ∧ signal_j = 1); the diagonal holds P(=1).
+class JointProbabilities {
+ public:
+  explicit JointProbabilities(std::vector<double> p1);
+
+  /// Independent-signals joint table.
+  static JointProbabilities independent(const std::vector<double>& p1);
+
+  void set(int i, int j, double p_and) {
+    table_[idx(i, j)] = p_and;
+    table_[idx(j, i)] = p_and;
+  }
+  double joint(int i, int j) const { return table_[idx(i, j)]; }
+  double prob(int i) const { return table_[idx(i, i)]; }
+  /// Conditional P(i=1 | j=1); 0 when P(j)=0.
+  double cond(int i, int j) const {
+    const double pj = prob(j);
+    return pj <= 0.0 ? 0.0 : joint(i, j) / pj;
+  }
+  int size() const { return n_; }
+
+ private:
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+  int n_ = 0;
+  std::vector<double> table_;
+};
+
+}  // namespace minpower

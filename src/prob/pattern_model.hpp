@@ -1,0 +1,71 @@
+#pragma once
+// Correlated primary-input model: a weighted pattern set.
+//
+// The paper (Secs. 1.2, 2.1.1, 5) motivates correlated inputs with finite
+// state machines and instruction decoders, where "the correlations can be
+// obtained from the opcode/state assignment or the state transition
+// diagram". The natural machine-readable form of that information is a
+// distribution over input vectors: each pattern is a (vector, weight) pair
+// and weights sum to 1. From it we compute, exactly:
+//   * the signal probability of every node,
+//   * the pairwise joint probabilities P(x=1 ∧ y=1) of any node set —
+//     the inputs the correlated Modified Huffman (Eqs. 7–9) needs.
+//
+// Internal-node evaluation uses the node's global BDD, so reconvergence is
+// handled exactly; only the input distribution is approximated by the
+// pattern set (exact when the set enumerates the reachable vectors, e.g.
+// one pattern per opcode).
+
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "prob/joint.hpp"
+
+namespace minpower {
+
+struct InputPattern {
+  std::vector<bool> values;  // one entry per PI (Network::pis() order)
+  double weight = 0.0;       // probability mass of this vector
+};
+
+class PatternModel {
+ public:
+  /// Patterns must agree on width; weights are normalized to sum to 1.
+  PatternModel(const Network& net, std::vector<InputPattern> patterns);
+
+  /// Uniform independent model expressed as 2^n patterns (small n only) —
+  /// the bridge for differential testing against the independent path.
+  static PatternModel uniform(const Network& net);
+
+  const Network& network() const { return *net_; }
+  const std::vector<InputPattern>& patterns() const { return patterns_; }
+
+  /// P(node = 1) under the pattern distribution.
+  double probability(NodeId node) const;
+
+  /// P(a = 1 ∧ b = 1).
+  double joint(NodeId a, NodeId b) const;
+
+  /// Joint-probability table over a node list, ready for
+  /// modified_huffman_correlated.
+  JointProbabilities joints(const std::vector<NodeId>& nodes) const;
+
+  /// Per-node probabilities for all nodes (indexed by NodeId).
+  std::vector<double> all_probabilities() const;
+
+  /// P(cube over `fanins` evaluates to 1): exact under the pattern set.
+  double cube_probability(const std::vector<NodeId>& fanins,
+                          const Cube& cube) const;
+
+  /// P(both cubes evaluate to 1).
+  double cube_joint(const std::vector<NodeId>& fanins, const Cube& a,
+                    const Cube& b) const;
+
+ private:
+  const Network* net_;
+  std::vector<InputPattern> patterns_;
+  // value_[p][node] = node value under pattern p.
+  std::vector<std::vector<char>> value_;
+};
+
+}  // namespace minpower

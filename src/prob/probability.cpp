@@ -1,0 +1,180 @@
+#include "prob/probability.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace minpower {
+
+std::vector<int> dfs_pi_variable_order(const Network& net) {
+  std::unordered_map<NodeId, std::size_t> pi_index;
+  for (std::size_t i = 0; i < net.pis().size(); ++i)
+    pi_index[net.pis()[i]] = i;
+
+  std::vector<int> var_of(net.pis().size(), -1);
+  int next_var = 0;
+  std::vector<char> visited(net.capacity(), 0);
+  std::vector<NodeId> stack;
+  for (const PrimaryOutput& po : net.pos()) stack.push_back(po.driver);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(id)]) continue;
+    visited[static_cast<std::size_t>(id)] = 1;
+    const Node& n = net.node(id);
+    if (n.is_pi()) {
+      var_of[pi_index.at(id)] = next_var++;
+      continue;
+    }
+    // Push fanins in reverse so the first fanin is explored first.
+    for (auto it = n.fanins.rbegin(); it != n.fanins.rend(); ++it)
+      stack.push_back(*it);
+  }
+  // PIs unreachable from any PO get the remaining variables.
+  for (int& v : var_of)
+    if (v < 0) v = next_var++;
+  return var_of;
+}
+
+NetworkBdds::NetworkBdds(BddManager& mgr, const Network& net) : mgr_(mgr) {
+  refs_.assign(net.capacity(), BddManager::kFalse);
+  pi_var_order_ = dfs_pi_variable_order(net);
+  std::unordered_map<NodeId, int> pi_var;
+  for (std::size_t i = 0; i < net.pis().size(); ++i)
+    pi_var[net.pis()[i]] = pi_var_order_[i];
+
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    BddRef r = BddManager::kFalse;
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput:
+        r = mgr_.var(pi_var.at(id));
+        break;
+      case NodeKind::kConstant0:
+        r = BddManager::kFalse;
+        break;
+      case NodeKind::kConstant1:
+        r = BddManager::kTrue;
+        break;
+      case NodeKind::kInternal: {
+        // Compose the local SOP over global fanin BDDs.
+        r = BddManager::kFalse;
+        for (const Cube& c : n.cover.cubes()) {
+          BddRef cube = BddManager::kTrue;
+          for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+            const BddRef fi = refs_[static_cast<std::size_t>(n.fanins[i])];
+            if (c.has_pos(static_cast<int>(i))) cube = mgr_.and_(cube, fi);
+            if (c.has_neg(static_cast<int>(i)))
+              cube = mgr_.and_(cube, mgr_.not_(fi));
+          }
+          r = mgr_.or_(r, cube);
+        }
+        break;
+      }
+      case NodeKind::kDead:
+        continue;
+    }
+    refs_[static_cast<std::size_t>(id)] = r;
+  }
+}
+
+std::vector<double> signal_probabilities(const Network& net,
+                                         std::vector<double> pi_prob1) {
+  if (pi_prob1.empty()) pi_prob1.assign(net.pis().size(), 0.5);
+  MP_CHECK(pi_prob1.size() == net.pis().size());
+  BddManager mgr;
+  const NetworkBdds bdds(mgr, net);
+  const std::vector<double> by_var = bdds.to_variable_order(pi_prob1);
+  std::vector<double> p(net.capacity(), 0.0);
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+    const Node& n = net.node(id);
+    if (n.is_dead()) continue;
+    p[static_cast<std::size_t>(id)] = mgr.probability(bdds.of(id), by_var);
+  }
+  return p;
+}
+
+std::vector<double> switching_activities(const Network& net,
+                                         CircuitStyle style,
+                                         std::vector<double> pi_prob1) {
+  std::vector<double> p = signal_probabilities(net, std::move(pi_prob1));
+  for (double& x : p) x = switching_activity(x, style);
+  return p;
+}
+
+double total_internal_activity(const Network& net, CircuitStyle style,
+                               std::vector<double> pi_prob1,
+                               bool include_pis) {
+  const std::vector<double> e =
+      switching_activities(net, style, std::move(pi_prob1));
+  double total = 0.0;
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+    const Node& n = net.node(id);
+    if (n.is_internal() || (include_pis && n.is_pi()))
+      total += e[static_cast<std::size_t>(id)];
+  }
+  return total;
+}
+
+bool networks_equivalent(const Network& a, const Network& b) {
+  if (a.pis().size() != b.pis().size()) return false;
+  if (a.pos().size() != b.pos().size()) return false;
+
+  BddManager mgr;
+  const NetworkBdds a_bdds(mgr, a);
+
+  // Match PIs of b to a's (DFS-ordered) variable numbering by name.
+  std::unordered_map<std::string, int> a_pi_var;
+  for (std::size_t i = 0; i < a.pis().size(); ++i)
+    a_pi_var[a.node(a.pis()[i]).name] = a_bdds.pi_variable(i);
+
+  // Build b's BDDs against the same variable numbering.
+  std::vector<BddRef> b_refs(b.capacity(), BddManager::kFalse);
+  for (NodeId id : b.topo_order()) {
+    const Node& n = b.node(id);
+    BddRef r = BddManager::kFalse;
+    switch (n.kind) {
+      case NodeKind::kPrimaryInput: {
+        const auto it = a_pi_var.find(n.name);
+        if (it == a_pi_var.end()) return false;  // PI name mismatch
+        r = mgr.var(it->second);
+        break;
+      }
+      case NodeKind::kConstant0:
+        r = BddManager::kFalse;
+        break;
+      case NodeKind::kConstant1:
+        r = BddManager::kTrue;
+        break;
+      case NodeKind::kInternal: {
+        r = BddManager::kFalse;
+        for (const Cube& c : n.cover.cubes()) {
+          BddRef cube = BddManager::kTrue;
+          for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+            const BddRef fi = b_refs[static_cast<std::size_t>(n.fanins[i])];
+            if (c.has_pos(static_cast<int>(i))) cube = mgr.and_(cube, fi);
+            if (c.has_neg(static_cast<int>(i)))
+              cube = mgr.and_(cube, mgr.not_(fi));
+          }
+          r = mgr.or_(r, cube);
+        }
+        break;
+      }
+      case NodeKind::kDead:
+        continue;
+    }
+    b_refs[static_cast<std::size_t>(id)] = r;
+  }
+
+  // Match POs by name.
+  std::unordered_map<std::string, NodeId> b_po;
+  for (const PrimaryOutput& po : b.pos()) b_po[po.name] = po.driver;
+  for (const PrimaryOutput& po : a.pos()) {
+    const auto it = b_po.find(po.name);
+    if (it == b_po.end()) return false;
+    if (a_bdds.of(po.driver) != b_refs[static_cast<std::size_t>(it->second)])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace minpower

@@ -1,0 +1,101 @@
+#pragma once
+// Exact signal probabilities and switching activities for Boolean networks.
+//
+// The paper's model (Sec. 1.2, 1.4): zero gate delay, no glitching,
+// spatially independent primary inputs, and — for static CMOS — temporal
+// independence of consecutive input vectors. Under that model:
+//   * p-type domino:  E(node) = P(node = 1)                       (Eq. 5 ctx)
+//   * n-type domino:  E(node) = P(node = 0)
+//   * static CMOS:    E(node) = P(0→1) + P(1→0) = 2·p·(1−p)       (Eq. 3)
+// Probabilities are computed exactly from the node's *global* function via
+// the linear BDD traversal of Eq. 2, exactly as the Ghosh et al. estimator
+// the paper uses for evaluation.
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "netlist/network.hpp"
+
+namespace minpower {
+
+/// Circuit design style; selects the switching-activity formula.
+enum class CircuitStyle {
+  kDynamicP,  // domino, p logic block: switch when output evaluates to 1
+  kDynamicN,  // domino, n logic block: switch when output evaluates to 0
+  kStatic,    // static CMOS: both transitions count
+};
+
+/// Switching activity of a signal with 1-probability `p` under `style`.
+inline double switching_activity(double p, CircuitStyle style) {
+  switch (style) {
+    case CircuitStyle::kDynamicP:
+      return p;
+    case CircuitStyle::kDynamicN:
+      return 1.0 - p;
+    case CircuitStyle::kStatic:
+      return 2.0 * p * (1.0 - p);
+  }
+  return 0.0;
+}
+
+/// BDD variable index per PI (Network::pis() order), chosen by a depth-first
+/// traversal from the primary outputs — the classic ordering heuristic that
+/// keeps reconvergent-logic BDDs narrow.
+std::vector<int> dfs_pi_variable_order(const Network& net);
+
+/// Global BDDs for every node of a network. PIs get BDD variables in
+/// DFS-from-outputs order; internal nodes are built in topological order by
+/// composing their local SOP over fanin BDDs.
+class NetworkBdds {
+ public:
+  NetworkBdds(BddManager& mgr, const Network& net);
+
+  BddRef of(NodeId id) const {
+    MP_CHECK(id >= 0 && id < static_cast<NodeId>(refs_.size()));
+    return refs_[static_cast<std::size_t>(id)];
+  }
+
+  BddManager& manager() const { return mgr_; }
+
+  /// BDD variable assigned to PI position i (Network::pis() order).
+  int pi_variable(std::size_t i) const { return pi_var_order_[i]; }
+
+  /// Permute a PI-position-indexed vector into BDD-variable indexing, as
+  /// BddManager::probability expects.
+  std::vector<double> to_variable_order(const std::vector<double>& by_pi) const {
+    std::vector<double> out(by_pi.size(), 0.0);
+    for (std::size_t i = 0; i < by_pi.size(); ++i)
+      out[static_cast<std::size_t>(pi_var_order_[i])] = by_pi[i];
+    return out;
+  }
+
+ private:
+  BddManager& mgr_;
+  std::vector<BddRef> refs_;
+  std::vector<int> pi_var_order_;
+};
+
+/// Per-node exact signal probabilities P(node = 1).
+/// `pi_prob1[i]` is the probability of PI i (Network::pis() order); pass an
+/// empty vector for the uniform 0.5 default used throughout the paper.
+std::vector<double> signal_probabilities(const Network& net,
+                                         std::vector<double> pi_prob1 = {});
+
+/// Per-node switching activities under `style` (same indexing as nodes).
+std::vector<double> switching_activities(const Network& net,
+                                         CircuitStyle style,
+                                         std::vector<double> pi_prob1 = {});
+
+/// Sum of switching activities over internal nodes (the decomposition
+/// objective of Section 2); optionally also count PI activity, as the
+/// Figure 1 example does.
+double total_internal_activity(const Network& net, CircuitStyle style,
+                               std::vector<double> pi_prob1 = {},
+                               bool include_pis = false);
+
+/// Functional equivalence of two networks with identical PI/PO names
+/// (order-insensitive), via global BDDs. Used by tests and as a safety net
+/// after each synthesis transformation.
+bool networks_equivalent(const Network& a, const Network& b);
+
+}  // namespace minpower

@@ -1,0 +1,77 @@
+#include "prob/sequential.hpp"
+
+#include <cmath>
+
+#include "prob/probability.hpp"
+#include "util/strings.hpp"
+
+namespace minpower {
+
+std::vector<LatchBinding> infer_latches(const Network& net) {
+  std::vector<LatchBinding> out;
+  for (std::size_t po = 0; po < net.pos().size(); ++po) {
+    const std::string& name = net.pos()[po].name;
+    constexpr std::string_view kSuffix = "__next";
+    if (name.size() <= kSuffix.size()) continue;
+    if (name.substr(name.size() - kSuffix.size()) != kSuffix) continue;
+    const std::string state = name.substr(0, name.size() - kSuffix.size());
+    for (std::size_t pi = 0; pi < net.pis().size(); ++pi) {
+      if (net.node(net.pis()[pi]).name == state) {
+        out.push_back(LatchBinding{pi, po});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+SequentialProbResult sequential_pi_probabilities(
+    const Network& net, const std::vector<LatchBinding>& latches,
+    const SequentialProbOptions& options) {
+  const std::size_t npi = net.pis().size();
+  std::vector<bool> is_latch_pi(npi, false);
+  for (const LatchBinding& l : latches) {
+    MP_CHECK(l.pi_index < npi && l.po_index < net.pos().size());
+    is_latch_pi[l.pi_index] = true;
+  }
+
+  SequentialProbResult result;
+  result.pi_prob1.assign(npi, 0.5);
+  {
+    std::size_t free_slot = 0;
+    for (std::size_t i = 0; i < npi; ++i) {
+      if (is_latch_pi[i]) continue;
+      if (free_slot < options.free_pi_prob1.size())
+        result.pi_prob1[i] = options.free_pi_prob1[free_slot];
+      ++free_slot;
+    }
+  }
+  for (std::size_t k = 0; k < latches.size(); ++k)
+    if (k < options.initial_state_prob1.size())
+      result.pi_prob1[latches[k].pi_index] = options.initial_state_prob1[k];
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    const std::vector<double> node_prob =
+        signal_probabilities(net, result.pi_prob1);
+    double delta = 0.0;
+    for (const LatchBinding& l : latches) {
+      const double next =
+          node_prob[static_cast<std::size_t>(net.pos()[l.po_index].driver)];
+      // Damped update: plain iteration oscillates on toggle-like feedback
+      // (p ← 1−p); averaging makes those fixpoints attracting.
+      const double damped = 0.5 * (result.pi_prob1[l.pi_index] + next);
+      delta = std::max(delta,
+                       std::abs(damped - result.pi_prob1[l.pi_index]));
+      result.pi_prob1[l.pi_index] = damped;
+    }
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace minpower

@@ -1,0 +1,52 @@
+#pragma once
+// State-line probabilities for sequential circuits.
+//
+// The paper evaluates ISCAS-89 circuits through their combinational cores:
+// each latch output becomes a pseudo-PI and each latch input a pseudo-PO
+// (our BLIF reader does the same, naming the pseudo-PO "<state>__next").
+// Treating those pseudo-PIs as probability-0.5 inputs ignores the machine's
+// dynamics; the standard refinement is a power-of-iteration fixpoint: set
+// P(state) ← P(next-state function) and repeat until convergence, with the
+// free PIs held at their given probabilities. This is exact for machines
+// whose state lines are (approximately) independent — the same independence
+// assumption the rest of the zero-delay model makes.
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace minpower {
+
+/// One latch: PI position (Network::pis() order) of the state output and PO
+/// position (Network::pos() order) of its next-state function.
+struct LatchBinding {
+  std::size_t pi_index = 0;
+  std::size_t po_index = 0;
+};
+
+/// Infer latches by the reader's naming convention: PO "X__next" pairs with
+/// PI "X".
+std::vector<LatchBinding> infer_latches(const Network& net);
+
+struct SequentialProbOptions {
+  /// Probabilities of the free (non-latch) PIs; empty → 0.5.
+  std::vector<double> free_pi_prob1;
+  /// Initial state-line probabilities; empty → 0.5.
+  std::vector<double> initial_state_prob1;
+  int max_iterations = 500;
+  double tolerance = 1e-9;
+};
+
+struct SequentialProbResult {
+  /// Per-PI probabilities (latch PIs at their fixpoint values) — feed this
+  /// to signal_probabilities / decompose_network / MapOptions::pi_prob1.
+  std::vector<double> pi_prob1;
+  int iterations = 0;
+  bool converged = false;
+};
+
+SequentialProbResult sequential_pi_probabilities(
+    const Network& net, const std::vector<LatchBinding>& latches,
+    const SequentialProbOptions& options = {});
+
+}  // namespace minpower

@@ -1,0 +1,120 @@
+#include "sop/algebra.hpp"
+
+#include <algorithm>
+
+namespace minpower {
+
+Cube common_cube(const Cover& f) {
+  if (f.empty()) return Cube::one();
+  std::uint64_t pos = ~std::uint64_t{0};
+  std::uint64_t neg = ~std::uint64_t{0};
+  for (const Cube& c : f.cubes()) {
+    pos &= c.pos();
+    neg &= c.neg();
+  }
+  return Cube{pos, neg};
+}
+
+bool is_cube_free(const Cover& f) { return common_cube(f).is_one(); }
+
+Cover divide_by_cube(const Cover& f, const Cube& d) {
+  Cover q;
+  for (const Cube& c : f.cubes())
+    if ((d.pos() & ~c.pos()) == 0 && (d.neg() & ~c.neg()) == 0)  // d ⊆ c
+      q.add(c.without(d));
+  q.normalize();
+  return q;
+}
+
+DivisionResult algebraic_divide(const Cover& f, const Cover& d) {
+  MP_CHECK(!d.empty());
+  // Classic weak division: quotient = intersection over cubes di of
+  // (f / di); remainder = f - quotient*d.
+  Cover q = divide_by_cube(f, d.cubes().front());
+  for (std::size_t i = 1; i < d.num_cubes() && !q.empty(); ++i) {
+    const Cover qi = divide_by_cube(f, d.cubes()[i]);
+    // Intersect cube lists (algebraic intersection = set intersection).
+    Cover next;
+    for (const Cube& c : q.cubes())
+      if (std::find(qi.cubes().begin(), qi.cubes().end(), c) != qi.cubes().end())
+        next.add(c);
+    q = std::move(next);
+  }
+  q.normalize();
+  DivisionResult out;
+  out.quotient = q;
+  if (q.empty()) {
+    out.remainder = f;
+    return out;
+  }
+  // remainder = cubes of f not produced by q*d.
+  Cover qd = Cover::conjunction(q, d);
+  for (const Cube& c : f.cubes())
+    if (std::find(qd.cubes().begin(), qd.cubes().end(), c) == qd.cubes().end())
+      out.remainder.add(c);
+  out.remainder.normalize();
+  return out;
+}
+
+namespace {
+
+void kernels_rec(const Cover& f, const Cube& co_kernel, int min_var,
+                 std::size_t max_kernels, std::vector<Kernel>& out) {
+  if (out.size() >= max_kernels) return;
+  const std::uint64_t sup = f.support();
+  for (int v = min_var; v < kMaxCubeVars; ++v) {
+    if (out.size() >= max_kernels) return;
+    if (!((sup >> v) & 1)) continue;
+    for (const bool phase : {true, false}) {
+      const Cube lit = Cube::literal(v, phase);
+      // Count cubes divisible by this literal.
+      int hits = 0;
+      for (const Cube& c : f.cubes())
+        if ((lit.pos() & ~c.pos()) == 0 && (lit.neg() & ~c.neg()) == 0) ++hits;
+      if (hits < 2) continue;
+      Cover q = divide_by_cube(f, lit);
+      const Cube cc = common_cube(q);
+      // Skip if a variable below v divides the quotient: that kernel is
+      // found through the other variable (standard duplicate pruning).
+      bool dominated = false;
+      for (int u = 0; u < v && !dominated; ++u)
+        if (cc.mentions(u)) dominated = true;
+      if (dominated) continue;
+      // Make cube-free.
+      Cover k;
+      for (const Cube& c : q.cubes()) k.add(c.without(cc));
+      k.normalize();
+      const Cube new_co = co_kernel & lit & cc;
+      out.push_back(Kernel{k, new_co});
+      kernels_rec(k, new_co, v + 1, max_kernels, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Kernel> kernels(const Cover& f, std::size_t max_kernels) {
+  std::vector<Kernel> out;
+  if (f.num_cubes() < 2) return out;
+  const Cube cc = common_cube(f);
+  Cover base;
+  for (const Cube& c : f.cubes()) base.add(c.without(cc));
+  base.normalize();
+  out.push_back(Kernel{base, cc});  // the top-level (cube-free) kernel
+  kernels_rec(base, cc, 0, max_kernels, out);
+  // Deduplicate identical kernels.
+  std::sort(out.begin(), out.end(), [](const Kernel& a, const Kernel& b) {
+    if (a.kernel.cubes() != b.kernel.cubes())
+      return a.kernel.cubes() < b.kernel.cubes();
+    return std::pair{a.co_kernel.pos(), a.co_kernel.neg()} <
+           std::pair{b.co_kernel.pos(), b.co_kernel.neg()};
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Kernel& a, const Kernel& b) {
+                          return a.kernel.cubes() == b.kernel.cubes();
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace minpower

@@ -1,0 +1,46 @@
+#pragma once
+// Algebraic (weak-division) operations on covers: the machinery behind the
+// technology-independent optimization substrate (eliminate / fast-extract).
+//
+// All functions treat covers as algebraic expressions: cubes are products of
+// literals and no Boolean identities beyond commutativity/absorption are used.
+
+#include <utility>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace minpower {
+
+/// Largest cube dividing every cube of `f` (the product of common literals).
+/// Returns the "1" cube when f has no common literal or is constant.
+Cube common_cube(const Cover& f);
+
+/// Quotient of f by a single cube d: { c without d : c in f, d ⊆ c }.
+Cover divide_by_cube(const Cover& f, const Cube& d);
+
+/// Weak (algebraic) division f = q·d + r.
+/// q is the largest cover with q·d algebraically contained in f; r collects
+/// the remaining cubes. d must be non-empty.
+struct DivisionResult {
+  Cover quotient;
+  Cover remainder;
+};
+DivisionResult algebraic_divide(const Cover& f, const Cover& d);
+
+/// A kernel of f together with its co-kernel cube.
+struct Kernel {
+  Cover kernel;
+  Cube co_kernel;
+};
+
+/// All kernels of f (cube-free quotients of f by cubes), computed by the
+/// classic recursive kerneling procedure. `max_kernels` caps the output for
+/// very large covers. The trivial kernel (f itself, when cube-free) is
+/// included.
+std::vector<Kernel> kernels(const Cover& f, std::size_t max_kernels = 256);
+
+/// True when no single literal divides every cube of f.
+bool is_cube_free(const Cover& f);
+
+}  // namespace minpower

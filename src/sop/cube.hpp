@@ -1,0 +1,97 @@
+#pragma once
+// Cube: a product term over up to 64 local variables (node fanins).
+//
+// A cube stores two bitmasks: `pos` (variables appearing positively) and
+// `neg` (variables appearing complemented). A variable present in both masks
+// makes the cube the constant-0 product; such cubes are never stored in a
+// normalized cover.
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace minpower {
+
+/// Maximum local variable count per node function. Technology-independent
+/// optimization keeps node supports far below this.
+inline constexpr int kMaxCubeVars = 64;
+
+class Cube {
+ public:
+  constexpr Cube() = default;
+  constexpr Cube(std::uint64_t pos, std::uint64_t neg) : pos_(pos), neg_(neg) {}
+
+  /// The cube containing a single literal of variable `var`.
+  static Cube literal(int var, bool positive) {
+    MP_CHECK(var >= 0 && var < kMaxCubeVars);
+    const std::uint64_t bit = std::uint64_t{1} << var;
+    return positive ? Cube{bit, 0} : Cube{0, bit};
+  }
+
+  /// The empty product (constant 1).
+  static constexpr Cube one() { return Cube{}; }
+
+  std::uint64_t pos() const { return pos_; }
+  std::uint64_t neg() const { return neg_; }
+  std::uint64_t support() const { return pos_ | neg_; }
+
+  bool has_pos(int var) const { return (pos_ >> var) & 1; }
+  bool has_neg(int var) const { return (neg_ >> var) & 1; }
+  bool mentions(int var) const { return has_pos(var) || has_neg(var); }
+
+  /// Number of literals in the cube.
+  int size() const {
+    return __builtin_popcountll(pos_) + __builtin_popcountll(neg_);
+  }
+
+  bool is_one() const { return pos_ == 0 && neg_ == 0; }
+
+  /// True when some variable appears in both phases (constant-0 product).
+  bool is_contradictory() const { return (pos_ & neg_) != 0; }
+
+  /// AND of two cubes (may be contradictory).
+  Cube operator&(const Cube& o) const { return Cube{pos_ | o.pos_, neg_ | o.neg_}; }
+
+  /// True if this cube implies `o`, i.e. o's literal set ⊆ this one's.
+  /// (Every minterm of `this` is a minterm of `o`.)
+  bool implies(const Cube& o) const {
+    return (o.pos_ & ~pos_) == 0 && (o.neg_ & ~neg_) == 0;
+  }
+
+  /// Remove all literals of `var` (existential on the product's literal set).
+  Cube drop(int var) const {
+    const std::uint64_t bit = std::uint64_t{1} << var;
+    return Cube{pos_ & ~bit, neg_ & ~bit};
+  }
+
+  /// Remove every literal mentioned by cube `c` (algebraic co-factor step).
+  Cube without(const Cube& c) const {
+    return Cube{pos_ & ~c.pos_, neg_ & ~c.neg_};
+  }
+
+  /// Evaluate under the assignment bitmask (bit v = value of variable v).
+  bool eval(std::uint64_t assignment) const {
+    return (pos_ & ~assignment) == 0 && (neg_ & assignment) == 0;
+  }
+
+  bool operator==(const Cube&) const = default;
+  auto operator<=>(const Cube&) const = default;
+
+  /// Printable form, e.g. "a !c d" with variables named v0, v1, ...
+  std::string to_string() const;
+
+ private:
+  std::uint64_t pos_ = 0;
+  std::uint64_t neg_ = 0;
+};
+
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const {
+    std::uint64_t h = c.pos() * 0x9e3779b97f4a7c15ULL;
+    h ^= c.neg() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace minpower

@@ -1,0 +1,173 @@
+#include "sop/factor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sop/algebra.hpp"
+
+namespace minpower {
+
+std::unique_ptr<FactorNode> FactorNode::literal(int var, bool phase) {
+  auto n = std::make_unique<FactorNode>();
+  n->kind = Kind::kLiteral;
+  n->var = var;
+  n->phase = phase;
+  return n;
+}
+
+std::unique_ptr<FactorNode> FactorNode::nary(
+    Kind kind, std::vector<std::unique_ptr<FactorNode>> children) {
+  MP_CHECK(kind != Kind::kLiteral);
+  MP_CHECK(!children.empty());
+  if (children.size() == 1) return std::move(children[0]);
+  auto n = std::make_unique<FactorNode>();
+  n->kind = kind;
+  // Flatten nested same-kind children.
+  for (auto& c : children) {
+    if (c->kind == kind) {
+      for (auto& gc : c->children) n->children.push_back(std::move(gc));
+    } else {
+      n->children.push_back(std::move(c));
+    }
+  }
+  return n;
+}
+
+int FactorNode::num_literals() const {
+  if (kind == Kind::kLiteral) return 1;
+  int n = 0;
+  for (const auto& c : children) n += c->num_literals();
+  return n;
+}
+
+Cover FactorNode::to_cover() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return Cover::literal(var, phase);
+    case Kind::kAnd: {
+      Cover out = Cover::one();
+      for (const auto& c : children)
+        out = Cover::conjunction(out, c->to_cover());
+      return out;
+    }
+    case Kind::kOr: {
+      Cover out = Cover::zero();
+      for (const auto& c : children)
+        out = Cover::disjunction(out, c->to_cover());
+      return out;
+    }
+  }
+  return Cover::zero();
+}
+
+std::string FactorNode::to_string() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return (phase ? "" : "!") + std::string("v") + std::to_string(var);
+    case Kind::kAnd: {
+      std::string out;
+      for (const auto& c : children) {
+        if (!out.empty()) out += ' ';
+        if (c->kind == Kind::kOr) out += "(" + c->to_string() + ")";
+        else out += c->to_string();
+      }
+      return out;
+    }
+    case Kind::kOr: {
+      std::string out;
+      for (const auto& c : children) {
+        if (!out.empty()) out += " + ";
+        out += c->to_string();
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<FactorNode> cube_to_and(const Cube& c) {
+  std::vector<std::unique_ptr<FactorNode>> lits;
+  for (int v = 0; v < kMaxCubeVars; ++v) {
+    if (c.has_pos(v)) lits.push_back(FactorNode::literal(v, true));
+    if (c.has_neg(v)) lits.push_back(FactorNode::literal(v, false));
+  }
+  MP_CHECK(!lits.empty());
+  return FactorNode::nary(FactorNode::Kind::kAnd, std::move(lits));
+}
+
+std::unique_ptr<FactorNode> factor_rec(Cover f) {
+  f.normalize();
+  MP_CHECK(!f.is_zero() && !f.is_one());
+
+  // Pull out the common cube.
+  const Cube cc = common_cube(f);
+  if (!cc.is_one()) {
+    Cover rest;
+    for (const Cube& c : f.cubes()) rest.add(c.without(cc));
+    rest.normalize();
+    std::vector<std::unique_ptr<FactorNode>> parts;
+    parts.push_back(cube_to_and(cc));
+    if (!rest.is_one()) parts.push_back(factor_rec(std::move(rest)));
+    return FactorNode::nary(FactorNode::Kind::kAnd, std::move(parts));
+  }
+
+  if (f.num_cubes() == 1) return cube_to_and(f.cubes()[0]);
+
+  // Most frequent literal (quick_factor's divisor).
+  std::map<std::pair<int, bool>, int> count;
+  for (const Cube& c : f.cubes())
+    for (int v = 0; v < kMaxCubeVars; ++v) {
+      if (c.has_pos(v)) ++count[{v, true}];
+      if (c.has_neg(v)) ++count[{v, false}];
+    }
+  std::pair<int, bool> best{-1, true};
+  int best_count = 1;
+  for (const auto& [lit, n] : count)
+    if (n > best_count) {
+      best_count = n;
+      best = lit;
+    }
+  if (best.first < 0) {
+    // No shared literal: plain OR of cube ANDs.
+    std::vector<std::unique_ptr<FactorNode>> cubes;
+    for (const Cube& c : f.cubes()) cubes.push_back(cube_to_and(c));
+    return FactorNode::nary(FactorNode::Kind::kOr, std::move(cubes));
+  }
+
+  const Cube lit = Cube::literal(best.first, best.second);
+  Cover quotient = divide_by_cube(f, lit);
+  Cover remainder;
+  for (const Cube& c : f.cubes())
+    if (!((lit.pos() & ~c.pos()) == 0 && (lit.neg() & ~c.neg()) == 0))
+      remainder.add(c);
+  remainder.normalize();
+
+  std::vector<std::unique_ptr<FactorNode>> and_parts;
+  and_parts.push_back(FactorNode::literal(best.first, best.second));
+  MP_CHECK(!quotient.is_zero());
+  if (!quotient.is_one())
+    and_parts.push_back(factor_rec(std::move(quotient)));
+  auto head = FactorNode::nary(FactorNode::Kind::kAnd, std::move(and_parts));
+
+  if (remainder.is_zero()) return head;
+  std::vector<std::unique_ptr<FactorNode>> or_parts;
+  or_parts.push_back(std::move(head));
+  or_parts.push_back(factor_rec(std::move(remainder)));
+  return FactorNode::nary(FactorNode::Kind::kOr, std::move(or_parts));
+}
+
+}  // namespace
+
+std::unique_ptr<FactorNode> factor(const Cover& f) {
+  MP_CHECK_MSG(!f.is_zero() && !f.is_one(), "cannot factor a constant");
+  return factor_rec(f);
+}
+
+int factored_literals(const Cover& f) {
+  if (f.is_zero() || f.is_one()) return 0;
+  return factor(f)->num_literals();
+}
+
+}  // namespace minpower

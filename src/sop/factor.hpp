@@ -1,0 +1,45 @@
+#pragma once
+// Algebraic factoring (SIS quick_factor work-alike).
+//
+// Factored forms are how SIS counts literals (its eliminate/extract values
+// are factored-literal deltas) and how mapped-area is traditionally
+// estimated before mapping. The factoring here is the standard greedy:
+// pull the common cube, then recursively divide by the most frequent
+// literal.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sop/cover.hpp"
+
+namespace minpower {
+
+struct FactorNode {
+  enum class Kind { kLiteral, kAnd, kOr };
+  Kind kind = Kind::kLiteral;
+  int var = -1;       // kLiteral
+  bool phase = true;  // kLiteral
+  std::vector<std::unique_ptr<FactorNode>> children;
+
+  static std::unique_ptr<FactorNode> literal(int var, bool phase);
+  static std::unique_ptr<FactorNode> nary(
+      Kind kind, std::vector<std::unique_ptr<FactorNode>> children);
+
+  /// Literal count of the factored form.
+  int num_literals() const;
+
+  /// Expansion back to SOP (for verification).
+  Cover to_cover() const;
+
+  /// e.g. "a (b + !c) + d".
+  std::string to_string() const;
+};
+
+/// Factored form of a non-constant cover.
+std::unique_ptr<FactorNode> factor(const Cover& f);
+
+/// Literal count of the factored form of `f` (constants count 0).
+int factored_literals(const Cover& f);
+
+}  // namespace minpower

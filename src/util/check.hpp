@@ -1,0 +1,38 @@
+#pragma once
+// Lightweight invariant checking used across the library.
+//
+// MP_CHECK is always on (these guard data-structure invariants whose violation
+// would silently corrupt synthesis results); MP_DCHECK compiles out in
+// release-with-NDEBUG builds for hot inner loops.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace minpower::detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "MP_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace minpower::detail
+
+#define MP_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::minpower::detail::check_fail(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MP_CHECK_MSG(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::minpower::detail::check_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MP_DCHECK(expr) ((void)0)
+#else
+#define MP_DCHECK(expr) MP_CHECK(expr)
+#endif

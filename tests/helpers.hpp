@@ -1,0 +1,88 @@
+#pragma once
+// Shared test utilities: exhaustive evaluation, random small networks, and
+// brute-force probability computation used as oracles.
+
+#include <cmath>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "netlist/network.hpp"
+#include "util/rng.hpp"
+
+namespace minpower::testing {
+
+/// Evaluate every PI assignment (requires few PIs) and return the PO truth
+/// tables, one vector<bool> of length 2^n per PO.
+inline std::vector<std::vector<bool>> truth_tables(const Network& net) {
+  const std::size_t n = net.pis().size();
+  const std::size_t count = std::size_t{1} << n;
+  std::vector<std::vector<bool>> tables(net.pos().size(),
+                                        std::vector<bool>(count));
+  for (std::size_t m = 0; m < count; ++m) {
+    std::vector<bool> pi(n);
+    for (std::size_t i = 0; i < n; ++i) pi[i] = (m >> i) & 1;
+    const std::vector<bool> po = net.eval(pi);
+    for (std::size_t j = 0; j < po.size(); ++j) tables[j][m] = po[j];
+  }
+  return tables;
+}
+
+/// Exhaustive signal probability of every node under independent PI
+/// 1-probabilities (oracle for the BDD-based computation).
+inline std::vector<double> brute_force_probabilities(
+    const Network& net, const std::vector<double>& pi_p1) {
+  const std::size_t n = net.pis().size();
+  const std::size_t count = std::size_t{1} << n;
+  std::vector<double> p(net.capacity(), 0.0);
+  for (std::size_t m = 0; m < count; ++m) {
+    std::vector<bool> pi(n);
+    double weight = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pi[i] = (m >> i) & 1;
+      weight *= pi[i] ? pi_p1[i] : 1.0 - pi_p1[i];
+    }
+    // Evaluate all nodes, not just POs.
+    std::vector<char> value(net.capacity(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+      value[static_cast<std::size_t>(net.pis()[i])] = pi[i];
+    for (NodeId id : net.topo_order()) {
+      const Node& node = net.node(id);
+      if (node.kind == NodeKind::kConstant1)
+        value[static_cast<std::size_t>(id)] = 1;
+      if (!node.is_internal()) continue;
+      std::uint64_t assignment = 0;
+      for (std::size_t i = 0; i < node.fanins.size(); ++i)
+        if (value[static_cast<std::size_t>(node.fanins[i])])
+          assignment |= std::uint64_t{1} << i;
+      value[static_cast<std::size_t>(id)] = node.cover.eval(assignment);
+    }
+    for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id)
+      if (value[static_cast<std::size_t>(id)])
+        p[static_cast<std::size_t>(id)] += weight;
+  }
+  return p;
+}
+
+/// Small random network for property tests.
+inline Network random_network(std::uint64_t seed, int num_pi = 6,
+                              int num_nodes = 12, int num_po = 3) {
+  BenchProfile p;
+  p.name = "rnd" + std::to_string(seed);
+  p.num_pi = num_pi;
+  p.num_po = num_po;
+  p.num_nodes = num_nodes;
+  p.max_fanin = 4;
+  p.max_cubes = 3;
+  p.seed = seed;
+  return generate_benchmark(p);
+}
+
+/// Random probability vector in (lo, hi).
+inline std::vector<double> random_probs(Rng& rng, int n, double lo = 0.05,
+                                        double hi = 0.95) {
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (double& x : p) x = rng.uniform(lo, hi);
+  return p;
+}
+
+}  // namespace minpower::testing

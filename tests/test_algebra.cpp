@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "sop/algebra.hpp"
+#include "util/rng.hpp"
+
+namespace minpower {
+namespace {
+
+Cube lit(int v, bool pos = true) { return Cube::literal(v, pos); }
+
+TEST(Algebra, CommonCube) {
+  // f = a·b·c + a·b·d → common cube a·b
+  Cover f{{lit(0) & lit(1) & lit(2), lit(0) & lit(1) & lit(3)}};
+  EXPECT_EQ(common_cube(f), lit(0) & lit(1));
+  EXPECT_FALSE(is_cube_free(f));
+}
+
+TEST(Algebra, CommonCubeOfCubeFree) {
+  Cover f{{lit(0) & lit(1), lit(2)}};
+  EXPECT_TRUE(common_cube(f).is_one());
+  EXPECT_TRUE(is_cube_free(f));
+}
+
+TEST(Algebra, DivideByCube) {
+  // f = a·b·c + a·d + e; f / a = b·c + d
+  Cover f{{lit(0) & lit(1) & lit(2), lit(0) & lit(3), lit(4)}};
+  const Cover q = divide_by_cube(f, lit(0));
+  Cover want{{lit(1) & lit(2), lit(3)}};
+  EXPECT_EQ(q.cubes(), want.cubes());
+}
+
+TEST(Algebra, WeakDivisionTextbook) {
+  // Classic: f = a·c + a·d + b·c + b·d + e; d = a + b → q = c + d, r = e.
+  Cover f{{lit(0) & lit(2), lit(0) & lit(3), lit(1) & lit(2), lit(1) & lit(3),
+           lit(4)}};
+  Cover d{{lit(0), lit(1)}};
+  const DivisionResult r = algebraic_divide(f, d);
+  Cover want_q{{lit(2), lit(3)}};
+  Cover want_r{{lit(4)}};
+  EXPECT_EQ(r.quotient.cubes(), want_q.cubes());
+  EXPECT_EQ(r.remainder.cubes(), want_r.cubes());
+}
+
+TEST(Algebra, DivisionByNonDivisor) {
+  Cover f{{lit(0) & lit(1)}};
+  Cover d{{lit(2)}};
+  const DivisionResult r = algebraic_divide(f, d);
+  EXPECT_TRUE(r.quotient.empty());
+  EXPECT_EQ(r.remainder.cubes(), f.cubes());
+}
+
+TEST(Algebra, KernelsOfTextbookFunction) {
+  // f = a·d + b·d + c·d  (common cube d) → kernel {a+b+c}, co-kernel d.
+  Cover f{{lit(0) & lit(3), lit(1) & lit(3), lit(2) & lit(3)}};
+  const auto ks = kernels(f);
+  ASSERT_FALSE(ks.empty());
+  Cover want{{lit(0), lit(1), lit(2)}};
+  bool found = false;
+  for (const Kernel& k : ks)
+    if (k.kernel.cubes() == want.cubes()) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Algebra, KernelsAreCubeFree) {
+  Cover f{{lit(0) & lit(2), lit(0) & lit(3), lit(1) & lit(2), lit(1) & lit(3),
+           lit(4)}};
+  for (const Kernel& k : kernels(f)) {
+    EXPECT_TRUE(is_cube_free(k.kernel)) << k.kernel.to_string();
+    EXPECT_GE(k.kernel.num_cubes(), 2u);
+  }
+}
+
+TEST(Algebra, SingleCubeHasNoKernels) {
+  Cover f{{lit(0) & lit(1) & lit(2)}};
+  EXPECT_TRUE(kernels(f).empty());
+}
+
+// Property: f ≡ quotient·divisor + remainder for random cube divisors.
+class DivisionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivisionProperty, ReconstructionHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 5);
+  const int vars = 6;
+  Cover f;
+  const int cubes = static_cast<int>(rng.range(2, 6));
+  for (int c = 0; c < cubes; ++c) {
+    Cube cube;
+    for (int v = 0; v < vars; ++v) {
+      const auto r = rng.below(3);
+      if (r == 0) cube = cube & Cube::literal(v, true);
+      if (r == 1) cube = cube & Cube::literal(v, false);
+    }
+    if (cube.is_one()) cube = Cube::literal(0, true);
+    f.add(cube);
+  }
+  f.normalize();
+  if (f.is_zero() || f.is_one()) GTEST_SKIP();
+
+  // Random divisor: one or two random cubes drawn from f's kernels or lits.
+  Cover d;
+  const auto ks = kernels(f);
+  if (!ks.empty() && rng.coin()) {
+    d = ks[rng.below(ks.size())].kernel;
+  } else {
+    const int v = static_cast<int>(rng.below(vars));
+    d = Cover::literal(v, rng.coin());
+  }
+  const DivisionResult r = algebraic_divide(f, d);
+  const Cover rebuilt =
+      Cover::disjunction(Cover::conjunction(r.quotient, d), r.remainder);
+  // Weak division guarantees algebraic containment; Boolean equivalence of
+  // q·d + r with f must hold as well.
+  EXPECT_TRUE(Cover::equivalent(rebuilt, f))
+      << "f=" << f.to_string() << " d=" << d.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DivisionProperty, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace minpower

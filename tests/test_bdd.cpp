@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(Bdd, Terminals) {
+  BddManager mgr;
+  EXPECT_TRUE(mgr.is_const(BddManager::kFalse));
+  EXPECT_TRUE(mgr.is_const(BddManager::kTrue));
+  EXPECT_EQ(mgr.not_(BddManager::kFalse), BddManager::kTrue);
+  EXPECT_EQ(mgr.not_(BddManager::kTrue), BddManager::kFalse);
+}
+
+TEST(Bdd, VarIsCanonical) {
+  BddManager mgr;
+  EXPECT_EQ(mgr.var(2), mgr.var(2));
+  EXPECT_NE(mgr.var(0), mgr.var(1));
+  EXPECT_EQ(mgr.num_vars(), 3);
+}
+
+TEST(Bdd, BasicIdentities) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  EXPECT_EQ(mgr.and_(a, a), a);
+  EXPECT_EQ(mgr.or_(a, a), a);
+  EXPECT_EQ(mgr.and_(a, BddManager::kTrue), a);
+  EXPECT_EQ(mgr.or_(a, BddManager::kFalse), a);
+  EXPECT_EQ(mgr.and_(a, mgr.not_(a)), BddManager::kFalse);
+  EXPECT_EQ(mgr.or_(a, mgr.not_(a)), BddManager::kTrue);
+  EXPECT_EQ(mgr.xor_(a, b), mgr.xor_(b, a));
+  EXPECT_EQ(mgr.not_(mgr.not_(a)), a);
+}
+
+TEST(Bdd, DeMorganCanonicity) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  EXPECT_EQ(mgr.not_(mgr.and_(a, b)),
+            mgr.or_(mgr.not_(a), mgr.not_(b)));
+}
+
+TEST(Bdd, EvalMatchesSemantics) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef c = mgr.var(2);
+  const BddRef f = mgr.or_(mgr.and_(a, b), mgr.not_(c));
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<bool> assignment{(m & 1) != 0, (m & 2) != 0,
+                                       (m & 4) != 0};
+    const bool want =
+        (assignment[0] && assignment[1]) || !assignment[2];
+    EXPECT_EQ(mgr.eval(f, assignment), want) << m;
+  }
+}
+
+TEST(Bdd, CofactorShannon) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef f = mgr.xor_(a, b);
+  EXPECT_EQ(mgr.cofactor(f, 0, true), mgr.not_(b));
+  EXPECT_EQ(mgr.cofactor(f, 0, false), b);
+  // Cofactor on a variable not in support is the identity.
+  EXPECT_EQ(mgr.cofactor(f, 5, true), f);
+}
+
+TEST(Bdd, Support) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef c = mgr.var(2);
+  const BddRef f = mgr.and_(a, c);
+  const auto s = mgr.support(f);
+  EXPECT_EQ(s, (std::vector<int>{0, 2}));
+}
+
+TEST(Bdd, ProbabilityOfPrimitives) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const std::vector<double> p{0.3, 0.7};
+  EXPECT_NEAR(mgr.probability(a, p), 0.3, 1e-12);
+  EXPECT_NEAR(mgr.probability(mgr.not_(a), p), 0.7, 1e-12);
+  EXPECT_NEAR(mgr.probability(mgr.and_(a, b), p), 0.21, 1e-12);
+  EXPECT_NEAR(mgr.probability(mgr.or_(a, b), p), 0.3 + 0.7 - 0.21, 1e-12);
+  EXPECT_NEAR(mgr.probability(mgr.xor_(a, b), p),
+              0.3 * 0.3 + 0.7 * 0.7, 1e-12);
+  EXPECT_EQ(mgr.probability(BddManager::kTrue, p), 1.0);
+  EXPECT_EQ(mgr.probability(BddManager::kFalse, p), 0.0);
+}
+
+TEST(Bdd, ProbabilityHandlesReconvergence) {
+  // f = (a·b) + (a·c): P = P(a)·P(b+c); naive independent-gate analysis
+  // would get this wrong; the BDD traversal must be exact.
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef c = mgr.var(2);
+  const BddRef f = mgr.or_(mgr.and_(a, b), mgr.and_(a, c));
+  const std::vector<double> p{0.5, 0.5, 0.5};
+  EXPECT_NEAR(mgr.probability(f, p), 0.5 * 0.75, 1e-12);
+}
+
+TEST(Bdd, DagSizeGrowsWithFunction) {
+  BddManager mgr;
+  BddRef f = BddManager::kFalse;
+  for (int i = 0; i < 6; ++i) f = mgr.xor_(f, mgr.var(i));
+  // Parity of n variables without complement edges: 2n−1 nodes (two nodes
+  // per level below the top).
+  EXPECT_EQ(mgr.dag_size(f), 11u);
+  EXPECT_EQ(mgr.dag_size(BddManager::kTrue), 0u);
+}
+
+// Property test: random 3-level expressions vs truth-table oracle, and
+// probability vs weighted-minterm oracle.
+class BddRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomProperty, MatchesTruthTableAndProbability) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  BddManager mgr;
+  const int nvars = 5;
+  std::vector<BddRef> pool;
+  for (int i = 0; i < nvars; ++i) pool.push_back(mgr.var(i));
+  for (int step = 0; step < 12; ++step) {
+    const BddRef x = pool[rng.below(pool.size())];
+    const BddRef y = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: pool.push_back(mgr.and_(x, y)); break;
+      case 1: pool.push_back(mgr.or_(x, y)); break;
+      case 2: pool.push_back(mgr.xor_(x, y)); break;
+      default: pool.push_back(mgr.not_(x)); break;
+    }
+  }
+  const BddRef f = pool.back();
+
+  std::vector<double> p(nvars);
+  for (double& x : p) x = rng.uniform(0.05, 0.95);
+
+  double prob = 0.0;
+  for (int m = 0; m < (1 << nvars); ++m) {
+    std::vector<bool> assignment(nvars);
+    double w = 1.0;
+    for (int i = 0; i < nvars; ++i) {
+      assignment[static_cast<std::size_t>(i)] = (m >> i) & 1;
+      w *= assignment[static_cast<std::size_t>(i)] ? p[static_cast<std::size_t>(i)]
+                                                   : 1.0 - p[static_cast<std::size_t>(i)];
+    }
+    if (mgr.eval(f, assignment)) prob += w;
+  }
+  EXPECT_NEAR(mgr.probability(f, p), prob, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BddRandomProperty, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchgen/benchgen.hpp"
+#include "io/blif.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(Benchgen, DeterministicGeneration) {
+  Network a = make_benchmark("s208");
+  Network b = make_benchmark("s208");
+  EXPECT_EQ(write_blif_string(a), write_blif_string(b));
+}
+
+TEST(Benchgen, SuiteHasSeventeenCircuits) {
+  EXPECT_EQ(paper_suite().size(), 17u);
+  // All names from the paper's tables are present.
+  for (const char* name :
+       {"s208", "s344", "s382", "s444", "s510", "s526", "s641", "s713",
+        "s820", "cm42a", "x1", "x2", "x3", "ttt2", "apex7", "alu2", "ex2"}) {
+    bool found = false;
+    for (const auto& p : paper_suite()) found |= p.name == name;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(Benchgen, ProfilesAreRespected) {
+  for (const auto& p : paper_suite()) {
+    Network net = generate_benchmark(p);
+    net.check();
+    EXPECT_EQ(net.pis().size(), static_cast<std::size_t>(p.num_pi)) << p.name;
+    EXPECT_LE(net.pos().size(), static_cast<std::size_t>(p.num_po)) << p.name;
+    EXPECT_GE(net.pos().size(), 1u) << p.name;
+    EXPECT_GT(net.num_internal(), 0u) << p.name;
+    for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+      const Node& n = net.node(id);
+      if (!n.is_internal()) continue;
+      EXPECT_LE(static_cast<int>(n.fanins.size()), p.max_fanin);
+      EXPECT_LE(static_cast<int>(n.cover.num_cubes()), p.max_cubes);
+      EXPECT_FALSE(n.cover.is_zero());
+      EXPECT_FALSE(n.cover.is_one());
+    }
+  }
+}
+
+TEST(Benchgen, NetworksAreConnectedToPos) {
+  // After sweep (inside generate), every internal node reaches a PO.
+  Network net = make_benchmark("x2");
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+    const Node& n = net.node(id);
+    if (n.is_internal()) EXPECT_GE(net.fanout_count(id), 1);
+  }
+}
+
+TEST(Benchgen, DifferentSeedsDiffer) {
+  BenchProfile a = paper_suite()[0];
+  BenchProfile b = a;
+  b.seed += 1;
+  EXPECT_NE(write_blif_string(generate_benchmark(a)),
+            write_blif_string(generate_benchmark(b)));
+}
+
+TEST(Benchgen, UnknownNameAborts) {
+  EXPECT_DEATH(make_benchmark("nonesuch"), "unknown benchmark");
+}
+
+TEST(Benchgen, RoundTripsThroughBlif) {
+  Network net = make_benchmark("cm42a");
+  Network back = read_blif_string(write_blif_string(net));
+  EXPECT_TRUE(networks_equivalent(net, back));
+}
+
+TEST(Pla, GeneratesTwoLevelCircuit) {
+  PlaProfile p;
+  p.num_pi = 8;
+  p.num_outputs = 5;
+  p.cubes_per_output = 4;
+  p.seed = 7;
+  Network net = generate_pla(p);
+  net.check();
+  EXPECT_EQ(net.pis().size(), 8u);
+  EXPECT_EQ(net.pos().size(), 5u);
+  EXPECT_EQ(net.num_internal(), 5u);  // one SOP node per output
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id)
+    if (net.node(id).is_internal())
+      for (NodeId f : net.node(id).fanins)
+        EXPECT_TRUE(net.node(f).is_pi());  // strictly two-level
+}
+
+TEST(Pla, Deterministic) {
+  PlaProfile p;
+  p.seed = 3;
+  EXPECT_EQ(write_blif_string(generate_pla(p)),
+            write_blif_string(generate_pla(p)));
+}
+
+TEST(Pla, OutputsShareLiteralPairs) {
+  // The point of the PLA generator: distinct outputs read the same PIs, so
+  // cube extraction has shared divisors to find.
+  PlaProfile p;
+  p.num_pi = 6;
+  p.num_outputs = 8;
+  p.cubes_per_output = 6;
+  p.literal_density = 0.6;
+  p.seed = 11;
+  Network net = generate_pla(p);
+  int max_pi_fanout = 0;
+  for (NodeId pi : net.pis())
+    max_pi_fanout = std::max(max_pi_fanout,
+                             static_cast<int>(net.node(pi).fanouts.size()));
+  EXPECT_GE(max_pi_fanout, 3);
+}
+
+}  // namespace
+}  // namespace minpower

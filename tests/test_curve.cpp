@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "map/curve.hpp"
+#include "util/rng.hpp"
+
+namespace minpower {
+namespace {
+
+CurvePoint pt(double t, double c, double drive = 0.0) {
+  CurvePoint p;
+  p.arrival = t;
+  p.cost = c;
+  p.drive = drive;
+  return p;
+}
+
+TEST(Curve, InsertKeepsNonInferior) {
+  Curve c;
+  c.insert(pt(1.0, 10.0));
+  c.insert(pt(2.0, 5.0));
+  c.insert(pt(3.0, 1.0));
+  EXPECT_EQ(c.size(), 3u);
+  // Sorted by arrival, cost decreasing (Lemma 3.1).
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i - 1].arrival, c[i].arrival);
+    EXPECT_GT(c[i - 1].cost, c[i].cost);
+  }
+}
+
+TEST(Curve, InsertDropsInferior) {
+  Curve c;
+  c.insert(pt(1.0, 10.0));
+  c.insert(pt(2.0, 12.0));  // slower AND costlier → dropped
+  EXPECT_EQ(c.size(), 1u);
+  c.insert(pt(0.5, 20.0));  // faster but costlier → kept
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Curve, InsertDominatesExisting) {
+  Curve c;
+  c.insert(pt(2.0, 10.0));
+  c.insert(pt(3.0, 8.0));
+  c.insert(pt(1.0, 7.0));  // dominates both
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].arrival, 1.0);
+}
+
+TEST(Curve, EqualArrivalKeepsCheaper) {
+  Curve c;
+  c.insert(pt(1.0, 10.0));
+  c.insert(pt(1.0, 5.0));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].cost, 5.0);
+  c.insert(pt(1.0, 8.0));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].cost, 5.0);
+}
+
+TEST(Curve, PruneKeepsEndpoints) {
+  Curve c;
+  for (int i = 0; i < 10; ++i)
+    c.insert(pt(1.0 + 0.001 * i, 10.0 - i));
+  c.prune(0.5, 0.0);
+  EXPECT_EQ(c.size(), 2u);  // only the fastest and the cheapest survive
+  EXPECT_DOUBLE_EQ(c[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(c[c.size() - 1].cost, 1.0);
+}
+
+TEST(Curve, PruneEpsilonZeroKeepsAll) {
+  Curve c;
+  for (int i = 0; i < 6; ++i) c.insert(pt(i, 10.0 - i));
+  const std::size_t before = c.size();
+  c.prune(0.0, 0.0);
+  EXPECT_EQ(c.size(), before);
+}
+
+TEST(Curve, BestWithin) {
+  Curve c;
+  c.insert(pt(1.0, 10.0));
+  c.insert(pt(2.0, 5.0));
+  c.insert(pt(3.0, 1.0));
+  EXPECT_EQ(c.best_within(10.0), 2);  // cheapest overall
+  EXPECT_EQ(c.best_within(2.5), 1);
+  EXPECT_EQ(c.best_within(1.0), 0);
+  EXPECT_EQ(c.best_within(0.5), -1);  // infeasible
+}
+
+TEST(Curve, BestWithinAppliesLoadShift) {
+  Curve c;
+  c.insert(pt(1.0, 10.0, /*drive=*/2.0));
+  c.insert(pt(2.0, 5.0, /*drive=*/0.1));
+  // With +1 load unit, the first point shifts to 3.0 and the second to 2.1.
+  EXPECT_EQ(c.best_within(2.5, 1.0), 1);
+  EXPECT_EQ(c.best_within(2.05, 1.0), -1);
+  // Negative shift (lighter than default) speeds points up.
+  EXPECT_EQ(c.best_within(0.9, -0.2), 0);
+}
+
+TEST(Curve, FastestAndCheapest) {
+  Curve c;
+  c.insert(pt(1.0, 10.0));
+  c.insert(pt(4.0, 2.0));
+  EXPECT_EQ(c.fastest(), 0);
+  EXPECT_EQ(c.cheapest(), 1);
+  Curve empty;
+  EXPECT_EQ(empty.fastest(), -1);
+  EXPECT_EQ(empty.cheapest(), -1);
+}
+
+// Property: after arbitrary random inserts the curve is a strictly
+// monotone staircase (Lemma 3.1) and contains the true minimum cost.
+class CurveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CurveProperty, StaircaseInvariant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  Curve c;
+  double min_cost = 1e9;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 10.0);
+    const double cost = rng.uniform(0.0, 100.0);
+    min_cost = std::min(min_cost, cost);
+    c.insert(pt(t, cost));
+  }
+  ASSERT_FALSE(c.empty());
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i - 1].arrival, c[i].arrival);
+    EXPECT_GT(c[i - 1].cost, c[i].cost);
+  }
+  EXPECT_DOUBLE_EQ(c[c.size() - 1].cost, min_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CurveProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,148 @@
+// Edge cases and failure-injection across modules: the inputs a release
+// build meets in the wild.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "decomp/network_decompose.hpp"
+#include "helpers.hpp"
+#include "io/blif.hpp"
+#include "map/mapper.hpp"
+#include "opt/optimize.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(EdgeCases, BddNodeLimitAborts) {
+  // A tiny manager hits its ceiling on a parity chain.
+  EXPECT_DEATH(
+      {
+        BddManager mgr(8);
+        BddRef f = BddManager::kFalse;
+        for (int i = 0; i < 10; ++i) f = mgr.xor_(f, mgr.var(i));
+      },
+      "BDD node limit");
+}
+
+TEST(EdgeCases, BddOpCacheClearKeepsRefsValid) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef f = mgr.and_(a, b);
+  mgr.clear_op_cache();
+  EXPECT_EQ(mgr.and_(a, b), f);  // unique table survives
+}
+
+TEST(EdgeCases, NetworkCycleDetected) {
+  Network net("cycle");
+  const NodeId a = net.add_pi("a");
+  const NodeId x = net.add_and2(a, a);  // placeholder second input
+  const NodeId y = net.add_and2(x, a);
+  net.add_po("f", y);
+  // Manually create a cycle: x reads y.
+  net.node(x).fanins[1] = y;
+  net.node(y).fanouts.push_back(x);
+  // Remove the stale a→x edge bookkeeping for consistency of the test.
+  auto& fo = net.node(a).fanouts;
+  fo.erase(std::find(fo.begin(), fo.end(), x));
+  EXPECT_DEATH(net.topo_order(), "combinational cycle");
+}
+
+TEST(EdgeCases, BlifRejectsDoubleDriver) {
+  const std::string text =
+      ".model bad\n.inputs a\n.outputs f\n"
+      ".names a f\n1 1\n.names a f\n0 1\n.end\n";
+  EXPECT_DEATH(read_blif_string(text), "driven twice");
+}
+
+TEST(EdgeCases, BlifRejectsUndrivenOutput) {
+  const std::string text = ".model bad\n.inputs a\n.outputs f\n.end\n";
+  EXPECT_DEATH(read_blif_string(text), "undriven");
+}
+
+TEST(EdgeCases, BlifRejectsCyclicGates) {
+  const std::string text =
+      ".model bad\n.inputs a\n.outputs f\n"
+      ".names a g f\n11 1\n.names f g\n1 1\n.end\n";
+  EXPECT_DEATH(read_blif_string(text), "cycle");
+}
+
+TEST(EdgeCases, SingleNodeNetworkFlows) {
+  // The smallest interesting circuit goes through the whole pipeline.
+  Network net("tiny");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  net.add_po("f", net.add_nand2(a, b));
+  NetworkDecompOptions d;
+  const Network subject = decompose_network(net, d).network;
+  MapOptions m;
+  const MapResult r = map_network(subject, standard_library(), m);
+  EXPECT_EQ(r.mapped.num_gates(), 1u);
+  EXPECT_FALSE(r.mapped.eval({true, true})[0]);
+}
+
+TEST(EdgeCases, WideNodeDecomposes) {
+  // A 20-input AND stresses the tree algorithms beyond the exhaustive path.
+  Network net("wide");
+  std::vector<NodeId> pis;
+  Cube cube;
+  for (int i = 0; i < 20; ++i) {
+    pis.push_back(net.add_pi("p" + std::to_string(i)));
+    cube = cube & Cube::literal(i, true);
+  }
+  net.add_po("f", net.add_node(pis, Cover{{cube}}, "big"));
+  NetworkDecompOptions d;
+  const auto r = decompose_network(net, d);
+  EXPECT_TRUE(networks_equivalent(net, r.network));
+  // 20-leaf AND: 19 NAND-ish internal pairs plus inverters.
+  EXPECT_GE(r.network.num_internal(), 19u);
+}
+
+TEST(EdgeCases, EliminateOnEmptyNetworkIsNoop) {
+  Network net("pis_only");
+  const NodeId a = net.add_pi("a");
+  net.add_po("f", a);
+  EXPECT_EQ(eliminate(net, 0), 0);
+  EXPECT_EQ(extract_cube_divisors(net), 0);
+  EXPECT_EQ(simplify_nodes(net), 0);
+  net.check();
+}
+
+TEST(EdgeCases, ProbabilitiesAtRails) {
+  Network net("rails");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  net.add_po("f", net.add_and2(a, b));
+  const auto p = signal_probabilities(net, {1.0, 0.0});
+  const NodeId f = net.pos()[0].driver;
+  EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(f)], 0.0);
+  const auto q = signal_probabilities(net, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(q[static_cast<std::size_t>(f)], 1.0);
+}
+
+TEST(EdgeCases, MapperWithEveryPoConstrainedTight) {
+  Network raw = testing::random_network(31, 6, 12, 3);
+  NetworkDecompOptions d;
+  const Network subject = decompose_network(raw, d).network;
+  MapOptions m;
+  m.po_required.assign(subject.pos().size(), 0.0);  // impossible
+  const MapResult r = map_network(subject, standard_library(), m);
+  // Infeasible constraints degrade to fastest-possible, never crash.
+  r.mapped.check();
+  EXPECT_EQ(r.mapped.po_signal.size(), subject.pos().size());
+}
+
+TEST(EdgeCases, DuplicatePoNamesAreAllowed) {
+  Network net("dup");
+  const NodeId a = net.add_pi("a");
+  const NodeId i = net.add_inv(a);
+  net.add_po("f", i);
+  net.add_po("f", i);  // same name twice: legal in the data structure
+  EXPECT_EQ(net.pos().size(), 2u);
+  EXPECT_EQ(net.po_refs(i), 2);
+  EXPECT_EQ(net.fanout_count(i), 2);
+}
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "sop/factor.hpp"
+#include "util/rng.hpp"
+
+namespace minpower {
+namespace {
+
+Cube lit(int v, bool pos = true) { return Cube::literal(v, pos); }
+
+TEST(Factor, SingleLiteral) {
+  const auto f = factor(Cover::literal(2, false));
+  EXPECT_EQ(f->kind, FactorNode::Kind::kLiteral);
+  EXPECT_EQ(f->var, 2);
+  EXPECT_FALSE(f->phase);
+  EXPECT_EQ(f->num_literals(), 1);
+}
+
+TEST(Factor, SingleCube) {
+  Cover f{{lit(0) & lit(1, false) & lit(2)}};
+  const auto t = factor(f);
+  EXPECT_EQ(t->kind, FactorNode::Kind::kAnd);
+  EXPECT_EQ(t->num_literals(), 3);
+  EXPECT_TRUE(Cover::equivalent(t->to_cover(), f));
+}
+
+TEST(Factor, TextbookCommonLiteral) {
+  // ab + ac → a(b + c): 4 SOP literals → 3 factored.
+  Cover f{{lit(0) & lit(1), lit(0) & lit(2)}};
+  const auto t = factor(f);
+  EXPECT_EQ(t->num_literals(), 3);
+  EXPECT_TRUE(Cover::equivalent(t->to_cover(), f));
+}
+
+TEST(Factor, CommonCubePulledFirst) {
+  // abc + abd → ab(c + d): 6 → 4.
+  Cover f{{lit(0) & lit(1) & lit(2), lit(0) & lit(1) & lit(3)}};
+  const auto t = factor(f);
+  EXPECT_EQ(t->num_literals(), 4);
+  EXPECT_TRUE(Cover::equivalent(t->to_cover(), f));
+}
+
+TEST(Factor, DisjointCubesStaySop) {
+  // ab + cd has no shared literal: factored form equals the SOP.
+  Cover f{{lit(0) & lit(1), lit(2) & lit(3)}};
+  const auto t = factor(f);
+  EXPECT_EQ(t->kind, FactorNode::Kind::kOr);
+  EXPECT_EQ(t->num_literals(), 4);
+}
+
+TEST(Factor, ClassicExample) {
+  // ad + bd + cd + e → d(a + b + c) + e: 7 → 5.
+  Cover f{{lit(0) & lit(3), lit(1) & lit(3), lit(2) & lit(3), lit(4)}};
+  const auto t = factor(f);
+  EXPECT_EQ(t->num_literals(), 5);
+  EXPECT_TRUE(Cover::equivalent(t->to_cover(), f));
+}
+
+TEST(Factor, FactoredLiteralsHelper) {
+  Cover f{{lit(0) & lit(1), lit(0) & lit(2)}};
+  EXPECT_EQ(factored_literals(f), 3);
+  EXPECT_EQ(factored_literals(Cover::zero()), 0);
+  EXPECT_EQ(factored_literals(Cover::one()), 0);
+}
+
+TEST(Factor, ToStringReadable) {
+  Cover f{{lit(0) & lit(1), lit(0) & lit(2)}};
+  const auto t = factor(f);
+  const std::string s = t->to_string();
+  EXPECT_NE(s.find("v0"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+// Property: factored form ≡ SOP and never has more literals.
+class FactorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorProperty, EquivalentAndNoWorse) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 577 + 23);
+  const int nvars = 6;
+  Cover f;
+  const int cubes = static_cast<int>(rng.range(1, 7));
+  for (int c = 0; c < cubes; ++c) {
+    Cube cube;
+    for (int v = 0; v < nvars; ++v) {
+      const auto r = rng.below(3);
+      if (r == 0) cube = cube & lit(v, true);
+      if (r == 1) cube = cube & lit(v, false);
+    }
+    if (cube.is_one()) cube = lit(static_cast<int>(rng.below(nvars)));
+    f.add(cube);
+  }
+  f.normalize();
+  if (f.is_zero() || f.is_one()) GTEST_SKIP();
+  const auto t = factor(f);
+  EXPECT_TRUE(Cover::equivalent(t->to_cover(), f)) << f.to_string();
+  EXPECT_LE(t->num_literals(), f.num_literals());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FactorProperty, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,133 @@
+// Flow- and mapper-option plumbing: the knobs a downstream user will turn.
+
+#include <gtest/gtest.h>
+
+#include "flow/flow.hpp"
+#include "helpers.hpp"
+#include "power/report.hpp"
+
+namespace minpower {
+namespace {
+
+Network prepared(std::uint64_t seed) {
+  Network net = testing::random_network(seed, 7, 16, 3);
+  prepare_network(net);
+  return net;
+}
+
+TEST(FlowOptions, DagHeuristicChangesResults) {
+  Network net = prepared(101);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions tree;
+  tree.dag = DagHeuristic::kTreePartition;
+  FlowOptions fo;
+  fo.dag = DagHeuristic::kFanoutDivision;
+  const FlowResult a = run_method(net, Method::kV, standard_library(), tree);
+  const FlowResult b = run_method(net, Method::kV, standard_library(), fo);
+  // Both valid mappings of the same subject; diagnostics identical.
+  EXPECT_DOUBLE_EQ(a.tree_activity, b.tree_activity);
+  EXPECT_GT(a.power_uw, 0.0);
+  EXPECT_GT(b.power_uw, 0.0);
+}
+
+TEST(FlowOptions, PoLoadRaisesPowerAndDelay) {
+  Network net = prepared(102);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions light;
+  light.po_load = 0.5;
+  FlowOptions heavy;
+  heavy.po_load = 8.0;
+  const FlowResult a = run_method(net, Method::kIV, standard_library(), light);
+  const FlowResult b = run_method(net, Method::kIV, standard_library(), heavy);
+  EXPECT_LT(a.power_uw, b.power_uw);
+  EXPECT_LT(a.delay, b.delay);
+}
+
+TEST(FlowOptions, RelaxFactorTradesDelayForPower) {
+  Network net = prepared(103);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions tight;
+  tight.policy = RequiredTimePolicy::kMinDelay;
+  FlowOptions loose;
+  loose.policy = RequiredTimePolicy::kRelaxedMinDelay;
+  loose.relax_factor = 2.0;
+  const FlowResult a = run_method(net, Method::kIV, standard_library(), tight);
+  const FlowResult b = run_method(net, Method::kIV, standard_library(), loose);
+  EXPECT_LE(b.power_uw, a.power_uw * 1.001);  // slack never costs power
+}
+
+TEST(FlowOptions, EpsilonAffectsOnlyQualityNotValidity) {
+  Network net = prepared(104);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions coarse;
+  coarse.epsilon_t = 2.0;
+  const FlowResult r = run_method(net, Method::kV, standard_library(), coarse);
+  EXPECT_GT(r.gates, 0u);
+  EXPECT_GT(r.power_uw, 0.0);
+}
+
+TEST(FlowOptions, StylePropagatesToDecompositionAndScoring) {
+  Network net = prepared(105);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions dynamic;
+  dynamic.style = CircuitStyle::kDynamicP;
+  const FlowResult stat = run_method(net, Method::kV, standard_library());
+  const FlowResult dyn =
+      run_method(net, Method::kV, standard_library(), dynamic);
+  EXPECT_NE(stat.tree_activity, dyn.tree_activity);
+  EXPECT_NE(stat.power_uw, dyn.power_uw);
+}
+
+TEST(MapperOptions, PrecomputedActivitiesMatchInternal) {
+  Network raw = testing::random_network(106, 6, 12, 3);
+  NetworkDecompOptions d;
+  const Network subject = decompose_network(raw, d).network;
+
+  MapOptions internal;
+  const MapResult a = map_network(subject, standard_library(), internal);
+
+  MapOptions external;
+  external.activities =
+      switching_activities(subject, CircuitStyle::kStatic);
+  const MapResult b = map_network(subject, standard_library(), external);
+
+  const MappedReport ra = evaluate_mapped(a.mapped, PowerParams::from(internal));
+  const MappedReport rb = evaluate_mapped(b.mapped, PowerParams::from(external));
+  EXPECT_DOUBLE_EQ(ra.power_uw, rb.power_uw);
+  EXPECT_DOUBLE_EQ(ra.area, rb.area);
+}
+
+TEST(MapperOptions, PiArrivalShiftsRequiredTimes) {
+  Network raw = testing::random_network(107, 6, 12, 2);
+  NetworkDecompOptions d;
+  const Network subject = decompose_network(raw, d).network;
+  MapOptions base;
+  base.policy = RequiredTimePolicy::kMinDelay;
+  const MapResult a = map_network(subject, standard_library(), base);
+  MapOptions late;
+  late.policy = RequiredTimePolicy::kMinDelay;
+  late.pi_arrival.assign(subject.pis().size(), 5.0);
+  const MapResult b = map_network(subject, standard_library(), late);
+  // Every required time shifts by exactly the input arrival.
+  for (std::size_t i = 0; i < a.po_required_used.size(); ++i)
+    EXPECT_NEAR(b.po_required_used[i], a.po_required_used[i] + 5.0, 1e-9);
+}
+
+TEST(MapperOptions, Method2AccountingStillMapsCorrectly) {
+  Network raw = testing::random_network(108, 6, 12, 3);
+  NetworkDecompOptions d;
+  const Network subject = decompose_network(raw, d).network;
+  MapOptions m2;
+  m2.accounting = PowerAccounting::kMethod2;
+  const MapResult r = map_network(subject, standard_library(), m2);
+  r.mapped.check();
+  Rng rng(9);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<bool> pi(subject.pis().size());
+    for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = rng.coin();
+    EXPECT_EQ(r.mapped.eval(pi), subject.eval(pi));
+  }
+}
+
+}  // namespace
+}  // namespace minpower

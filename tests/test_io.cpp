@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "decomp/network_decompose.hpp"
+#include "helpers.hpp"
+#include "io/blif.hpp"
+#include "io/mapped_blif.hpp"
+#include "map/mapper.hpp"
+#include "power/report.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(Blif, ParseSimpleModel) {
+  const std::string text = R"(
+# a comment
+.model test
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.end
+)";
+  Network net = read_blif_string(text);
+  EXPECT_EQ(net.name(), "test");
+  EXPECT_EQ(net.pis().size(), 3u);
+  EXPECT_EQ(net.pos().size(), 1u);
+  EXPECT_EQ(net.num_internal(), 2u);
+  // f = (a·b) + c
+  EXPECT_TRUE(net.eval({true, true, false})[0]);
+  EXPECT_TRUE(net.eval({false, false, true})[0]);
+  EXPECT_FALSE(net.eval({true, false, false})[0]);
+}
+
+TEST(Blif, OffsetCover) {
+  // Output column 0: rows specify the OFF-set; f = !(a·b) here.
+  const std::string text = R"(
+.model offset
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  Network net = read_blif_string(text);
+  EXPECT_FALSE(net.eval({true, true})[0]);
+  EXPECT_TRUE(net.eval({true, false})[0]);
+  EXPECT_TRUE(net.eval({false, false})[0]);
+}
+
+TEST(Blif, ConstantNodes) {
+  const std::string text = R"(
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+)";
+  Network net = read_blif_string(text);
+  EXPECT_TRUE(net.eval({false})[0]);
+  EXPECT_FALSE(net.eval({false})[1]);
+}
+
+TEST(Blif, LineContinuation) {
+  const std::string text =
+      ".model cont\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+  Network net = read_blif_string(text);
+  EXPECT_EQ(net.pis().size(), 2u);
+  EXPECT_TRUE(net.eval({true, true})[0]);
+}
+
+TEST(Blif, OutOfOrderDefinitions) {
+  // t2 is used before its .names block appears.
+  const std::string text = R"(
+.model ooo
+.inputs a b
+.outputs f
+.names t2 a f
+11 1
+.names a b t2
+-1 1
+.end
+)";
+  Network net = read_blif_string(text);
+  EXPECT_TRUE(net.eval({true, true})[0]);
+  EXPECT_FALSE(net.eval({true, false})[0]);
+}
+
+TEST(Blif, LatchBecomesPseudoPiAndPo) {
+  const std::string text = R"(
+.model seq
+.inputs a
+.outputs f
+.latch nf q 0
+.names a q f
+11 1
+.names f nf
+0 1
+.end
+)";
+  Network net = read_blif_string(text);
+  // PIs: a + latch output q; POs: f + the latch's next-state "q__next".
+  EXPECT_EQ(net.pis().size(), 2u);
+  EXPECT_EQ(net.pos().size(), 2u);
+  EXPECT_EQ(net.pos()[1].name, "q__next");
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+  for (std::uint64_t seed = 10; seed < 18; ++seed) {
+    Network net = testing::random_network(seed, 6, 14, 4);
+    Network back = read_blif_string(write_blif_string(net));
+    EXPECT_TRUE(networks_equivalent(net, back)) << "seed " << seed;
+  }
+}
+
+TEST(Blif, RoundTripPreservesInterface) {
+  Network net = testing::random_network(3, 5, 8, 2);
+  Network back = read_blif_string(write_blif_string(net));
+  ASSERT_EQ(back.pis().size(), net.pis().size());
+  for (std::size_t i = 0; i < net.pis().size(); ++i)
+    EXPECT_EQ(back.node(back.pis()[i]).name, net.node(net.pis()[i]).name);
+  ASSERT_EQ(back.pos().size(), net.pos().size());
+  for (std::size_t i = 0; i < net.pos().size(); ++i)
+    EXPECT_EQ(back.pos()[i].name, net.pos()[i].name);
+}
+
+TEST(Blif, PoAliasGetsBuffer) {
+  // PO name differs from its driver's name → writer must emit a buffer.
+  Network net("alias");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId n = net.add_and2(a, b, "inner");
+  net.add_po("outname", n);
+  Network back = read_blif_string(write_blif_string(net));
+  EXPECT_EQ(back.pos()[0].name, "outname");
+  EXPECT_TRUE(back.eval({true, true})[0]);
+  EXPECT_FALSE(back.eval({true, false})[0]);
+}
+
+TEST(Blif, DontCareColumnWidths) {
+  const std::string text = R"(
+.model dc
+.inputs a b c d
+.outputs f
+.names a b c d f
+1--- 1
+-11- 1
+---1 1
+.end
+)";
+  Network net = read_blif_string(text);
+  EXPECT_TRUE(net.eval({true, false, false, false})[0]);
+  EXPECT_TRUE(net.eval({false, true, true, false})[0]);
+  EXPECT_FALSE(net.eval({false, true, false, false})[0]);
+}
+
+MappedNetwork map_random(std::uint64_t seed, Network& subject_out) {
+  Network raw = testing::random_network(seed, 6, 12, 3);
+  NetworkDecompOptions d;
+  subject_out = decompose_network(raw, d).network;
+  MapOptions o;
+  return map_network(subject_out, standard_library(), o).mapped;
+}
+
+TEST(MappedBlif, WriteContainsGateLines) {
+  Network subject;
+  const MappedNetwork mn = map_random(50, subject);
+  const std::string text = write_mapped_blif_string(mn);
+  EXPECT_NE(text.find(".gate"), std::string::npos);
+  EXPECT_NE(text.find(".model"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(MappedBlif, RoundTripPreservesFunction) {
+  for (std::uint64_t seed = 51; seed < 55; ++seed) {
+    Network subject;
+    const MappedNetwork mn = map_random(seed, subject);
+    if (mn.gates.empty()) continue;
+    const ParsedMappedNetwork back = read_mapped_blif_string(
+        write_mapped_blif_string(mn), standard_library());
+    // Compare gate-level simulation of both mapped netlists.
+    Rng rng(seed);
+    for (int t = 0; t < 60; ++t) {
+      std::vector<bool> pi(subject.pis().size());
+      for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = rng.coin();
+      EXPECT_EQ(back.mapped.eval(pi), mn.eval(pi)) << seed;
+    }
+  }
+}
+
+TEST(MappedBlif, RoundTripPreservesScoring) {
+  Network subject;
+  const MappedNetwork mn = map_random(56, subject);
+  const ParsedMappedNetwork back = read_mapped_blif_string(
+      write_mapped_blif_string(mn), standard_library());
+  PowerParams p;
+  const MappedReport a = evaluate_mapped(mn, p);
+  const MappedReport b = evaluate_mapped(back.mapped, p);
+  EXPECT_EQ(a.num_gates, b.num_gates);
+  EXPECT_DOUBLE_EQ(a.area, b.area);
+  EXPECT_NEAR(a.delay, b.delay, 1e-9);
+  EXPECT_NEAR(a.power_uw, b.power_uw, 1e-6);
+}
+
+TEST(MappedBlif, ReadRejectsUnknownCell) {
+  const std::string text =
+      ".model m\n.inputs a\n.outputs f\n.gate nosuchcell a=a O=f\n.end\n";
+  EXPECT_DEATH(read_mapped_blif_string(text, standard_library()),
+               "unknown cell");
+}
+
+TEST(MappedBlif, ReadHandlesPoAlias) {
+  const std::string text =
+      ".model m\n.inputs a b\n.outputs out\n"
+      ".gate nand2 a=a b=b O=x\n"
+      ".names x out\n1 1\n.end\n";
+  const ParsedMappedNetwork p =
+      read_mapped_blif_string(text, standard_library());
+  EXPECT_EQ(p.mapped.gates.size(), 1u);
+  EXPECT_FALSE(p.mapped.eval({true, true})[0]);
+  EXPECT_TRUE(p.mapped.eval({true, false})[0]);
+}
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "bdd/isop.hpp"
+#include "helpers.hpp"
+#include "opt/optimize.hpp"
+#include "prob/probability.hpp"
+#include "util/rng.hpp"
+
+namespace minpower {
+namespace {
+
+BddRef bdd_of(BddManager& mgr, const Cover& cover, int nvars) {
+  BddRef f = BddManager::kFalse;
+  for (const Cube& c : cover.cubes()) {
+    BddRef cube = BddManager::kTrue;
+    for (int v = 0; v < nvars; ++v) {
+      if (c.has_pos(v)) cube = mgr.and_(cube, mgr.var(v));
+      if (c.has_neg(v)) cube = mgr.and_(cube, mgr.not_(mgr.var(v)));
+    }
+    f = mgr.or_(f, cube);
+  }
+  return f;
+}
+
+TEST(Isop, Constants) {
+  BddManager mgr;
+  EXPECT_TRUE(isop(mgr, BddManager::kFalse).is_zero());
+  EXPECT_TRUE(isop(mgr, BddManager::kTrue).is_one());
+}
+
+TEST(Isop, SingleVariable) {
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const Cover c = isop(mgr, a);
+  EXPECT_EQ(c.num_cubes(), 1u);
+  EXPECT_EQ(c.cubes()[0], Cube::literal(0, true));
+  const Cover cn = isop(mgr, mgr.not_(a));
+  EXPECT_EQ(cn.cubes()[0], Cube::literal(0, false));
+}
+
+TEST(Isop, RemovesRedundantCube) {
+  // f = a·b + a·!b + b  ≡  a + b: ISOP must find a 2-cube 2-literal cover.
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef f = mgr.or_(a, b);
+  const Cover c = isop(mgr, f);
+  EXPECT_EQ(c.num_cubes(), 2u);
+  EXPECT_EQ(c.num_literals(), 2);
+}
+
+TEST(Isop, IntervalFreedom) {
+  // L = a·b, U = a: any g with a·b ≤ g ≤ a works; the minimal one is "a·b"
+  // or "a". ISOP returns something within the interval.
+  BddManager mgr;
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const Cover g = isop(mgr, mgr.and_(a, b), a);
+  // Check containment semantically over all minterms.
+  for (std::uint64_t m = 0; m < 4; ++m) {
+    const bool lv = ((m & 1) != 0) && ((m & 2) != 0);
+    const bool uv = (m & 1) != 0;
+    const bool gv = g.eval(m);
+    EXPECT_TRUE(!lv || gv);  // L ≤ g
+    EXPECT_TRUE(!gv || uv);  // g ≤ U
+  }
+}
+
+// Property: ISOP of a random cover is equivalent and irredundant.
+class IsopProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopProperty, EquivalentAndIrredundant) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 3);
+  const int nvars = 5;
+  Cover f;
+  const int cubes = static_cast<int>(rng.range(1, 7));
+  for (int c = 0; c < cubes; ++c) {
+    Cube cube;
+    for (int v = 0; v < nvars; ++v) {
+      const auto r = rng.below(3);
+      if (r == 0) cube = cube & Cube::literal(v, true);
+      if (r == 1) cube = cube & Cube::literal(v, false);
+    }
+    f.add(cube);
+  }
+  f.normalize();
+  if (f.is_zero() || f.is_one()) GTEST_SKIP();
+
+  BddManager mgr;
+  const BddRef fb = bdd_of(mgr, f, nvars);
+  Cover g = isop(mgr, fb);
+  g.normalize();
+  EXPECT_TRUE(Cover::equivalent(f, g)) << f.to_string();
+  // ISOP must not be bigger than the (normalized) input.
+  EXPECT_LE(g.num_cubes(), f.num_cubes() + 1);
+
+  // Irredundancy: dropping any cube must lose a minterm.
+  for (std::size_t drop = 0; drop < g.num_cubes(); ++drop) {
+    Cover reduced;
+    for (std::size_t i = 0; i < g.num_cubes(); ++i)
+      if (i != drop) reduced.add(g.cubes()[i]);
+    EXPECT_FALSE(Cover::equivalent(f, reduced))
+        << "cube " << drop << " of " << g.to_string() << " is redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IsopProperty, ::testing::Range(0, 40));
+
+TEST(SimplifyNodes, ShrinksRedundantCovers) {
+  Network net("simp");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  // f = a·b + a·!b + !a·b  ≡  a + b (6 literals → 2).
+  Cover c{{Cube::literal(0, true) & Cube::literal(1, true),
+           Cube::literal(0, true) & Cube::literal(1, false),
+           Cube::literal(0, false) & Cube::literal(1, true)}};
+  const NodeId f = net.add_node({a, b}, c, "f");
+  net.add_po("out", f);
+  const int improved = simplify_nodes(net);
+  EXPECT_EQ(improved, 1);
+  EXPECT_EQ(net.node(f).cover.num_literals(), 2);
+  net.check();
+}
+
+TEST(SimplifyNodes, PreservesFunction) {
+  for (std::uint64_t seed = 700; seed < 712; ++seed) {
+    Network net = testing::random_network(seed, 6, 14, 3);
+    Network orig = net.duplicate();
+    simplify_nodes(net);
+    net.check();
+    EXPECT_TRUE(networks_equivalent(orig, net)) << seed;
+    EXPECT_LE(net.num_literals(), orig.num_literals());
+  }
+}
+
+}  // namespace
+}  // namespace minpower

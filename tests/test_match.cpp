@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+#include "map/match.hpp"
+#include "decomp/network_decompose.hpp"
+
+namespace minpower {
+namespace {
+
+bool has_gate(const std::vector<Match>& ms, const std::string& name) {
+  return std::any_of(ms.begin(), ms.end(), [&](const Match& m) {
+    return m.gate->name == name;
+  });
+}
+
+TEST(Match, InverterNode) {
+  Network net("inv");
+  const NodeId a = net.add_pi("a");
+  const NodeId i = net.add_inv(a);
+  net.add_po("f", i);
+  const auto ms = find_matches(net, i, standard_library());
+  EXPECT_TRUE(has_gate(ms, "inv1"));
+  EXPECT_TRUE(has_gate(ms, "inv2"));
+  EXPECT_TRUE(has_gate(ms, "inv4"));
+  EXPECT_FALSE(has_gate(ms, "nand2"));
+}
+
+TEST(Match, NandNode) {
+  Network net("nand");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId n = net.add_nand2(a, b);
+  net.add_po("f", n);
+  const auto ms = find_matches(net, n, standard_library());
+  EXPECT_TRUE(has_gate(ms, "nand2"));
+  EXPECT_FALSE(has_gate(ms, "inv1"));
+}
+
+TEST(Match, And2AtInvOfNand) {
+  Network net("and2");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId n = net.add_nand2(a, b);
+  const NodeId i = net.add_inv(n);
+  net.add_po("f", i);
+  const auto ms = find_matches(net, i, standard_library());
+  EXPECT_TRUE(has_gate(ms, "and2"));
+  // The AND2 match covers both subject nodes.
+  for (const Match& m : ms)
+    if (m.gate->name == "and2") EXPECT_EQ(m.covered.size(), 2u);
+}
+
+TEST(Match, Nand3AcrossTwoLevels) {
+  // NAND3 shape: NAND(a, INV(NAND(b, c))).
+  Network net("nand3");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId bc = net.add_nand2(b, c);
+  const NodeId ibc = net.add_inv(bc);
+  const NodeId top = net.add_nand2(a, ibc);
+  net.add_po("f", top);
+  const auto ms = find_matches(net, top, standard_library());
+  EXPECT_TRUE(has_gate(ms, "nand3"));
+  EXPECT_TRUE(has_gate(ms, "nand2"));  // smaller match still available
+}
+
+TEST(Match, MultiFanoutBlocksCovering) {
+  // Same NAND3 shape, but the inner NAND has a second reader: the nand3
+  // match would swallow a shared node and must be rejected.
+  Network net("shared");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId bc = net.add_nand2(b, c);
+  const NodeId ibc = net.add_inv(bc);
+  const NodeId top = net.add_nand2(a, ibc);
+  const NodeId other = net.add_inv(bc);  // second reader of bc
+  net.add_po("f", top);
+  net.add_po("g", other);
+  const auto ms = find_matches(net, top, standard_library());
+  EXPECT_FALSE(has_gate(ms, "nand3"));
+  EXPECT_TRUE(has_gate(ms, "nand2"));
+}
+
+TEST(Match, Aoi21Shape) {
+  // !(a·b + c) = NAND2/INV subject: or(x,y) = nand(!x,!y):
+  // f = NAND(INV(nand(a,b)→ab')… construct the canonical decomposed form:
+  // ab = INV(NAND(a,b)); f = NAND? Let's build !(ab + c) = INV(OR(ab,c))
+  // = INV(NAND(INV(ab), INV(c))) — too many inverters; the matcher works on
+  // whatever structure exists, so build the NOR-of-AND directly:
+  // t = NAND(INV(NAND(a,b)), ...) — use the standard aoi21 pattern shape:
+  // !(a·b + c) = !(a·b)·!c = NAND? It equals AND(NAND(a,b), INV(c)) =
+  // INV(NAND(NAND(a,b), INV(c))).
+  Network net("aoi21");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId nab = net.add_nand2(a, b);
+  const NodeId ic = net.add_inv(c);
+  const NodeId x = net.add_nand2(nab, ic);
+  const NodeId f = net.add_inv(x);
+  net.add_po("f", f);
+  const auto ms = find_matches(net, f, standard_library());
+  EXPECT_TRUE(has_gate(ms, "aoi21")) << [&] {
+    std::string names;
+    for (const Match& m : ms) names += m.gate->name + " ";
+    return names;
+  }();
+}
+
+TEST(Match, PinBindingIsConsistentForLeafDag) {
+  // XOR subject: a·!b + !a·b decomposed; xor2 should match with both pins
+  // bound consistently. Build: u = NAND(a, INV(b)), v = NAND(INV(a), b),
+  // f = NAND(u, v).
+  Network net("xor");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId ia = net.add_inv(a);
+  const NodeId ib = net.add_inv(b);
+  const NodeId u = net.add_nand2(a, ib);
+  const NodeId v = net.add_nand2(ia, b);
+  const NodeId f = net.add_nand2(u, v);
+  net.add_po("f", f);
+  const auto ms = find_matches(net, f, standard_library());
+  if (has_gate(ms, "xor2")) {
+    for (const Match& m : ms)
+      if (m.gate->name == "xor2") {
+        ASSERT_EQ(m.pin_binding.size(), 2u);
+        EXPECT_NE(m.pin_binding[0], m.pin_binding[1]);
+        for (NodeId s : m.pin_binding) EXPECT_TRUE(net.node(s).is_pi());
+      }
+  } else {
+    // The generated pattern set for xor may not include this exact inverter
+    // placement; at minimum the top NAND must match.
+    EXPECT_TRUE(has_gate(ms, "nand2"));
+  }
+}
+
+// Property: every match's gate function applied to its pin bindings equals
+// the subject root's global function (validated by simulation).
+class MatchCorrectness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchCorrectness, GateFunctionEqualsSubjectFunction) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Network raw = testing::random_network(seed + 300, 5, 8, 2);
+  NetworkDecompOptions d;
+  Network net = decompose_network(raw, d).network;
+  const Library& lib = standard_library();
+
+  const std::size_t npis = net.pis().size();
+  ASSERT_LE(npis, 12u);
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+    if (!net.node(id).is_internal()) continue;
+    const auto ms = find_matches(net, id, lib);
+    for (const Match& m : ms) {
+      if (m.covered.empty()) continue;
+      const auto names = m.gate->function->variables();
+      // Check on 40 random assignments.
+      Rng rng(seed * 97 + static_cast<std::uint64_t>(id));
+      for (int t = 0; t < 40; ++t) {
+        std::vector<bool> pi(npis);
+        for (std::size_t i = 0; i < npis; ++i) pi[i] = rng.coin();
+        // Evaluate the whole subject network.
+        std::vector<char> value(net.capacity(), 0);
+        for (std::size_t i = 0; i < npis; ++i)
+          value[static_cast<std::size_t>(net.pis()[i])] = pi[i];
+        for (NodeId nid : net.topo_order()) {
+          const Node& n = net.node(nid);
+          if (n.kind == NodeKind::kConstant1)
+            value[static_cast<std::size_t>(nid)] = 1;
+          if (!n.is_internal()) continue;
+          std::uint64_t assignment = 0;
+          for (std::size_t i = 0; i < n.fanins.size(); ++i)
+            if (value[static_cast<std::size_t>(n.fanins[i])])
+              assignment |= std::uint64_t{1} << i;
+          value[static_cast<std::size_t>(nid)] = n.cover.eval(assignment);
+        }
+        std::vector<bool> pin_values;
+        for (NodeId s : m.pin_binding)
+          pin_values.push_back(value[static_cast<std::size_t>(s)] != 0);
+        EXPECT_EQ(m.gate->function->eval(names, pin_values),
+                  value[static_cast<std::size_t>(id)] != 0)
+            << "gate " << m.gate->name << " at node " << net.node(id).name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MatchCorrectness, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace minpower

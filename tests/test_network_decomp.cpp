@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "decomp/network_decompose.hpp"
+#include "helpers.hpp"
+#include "opt/optimize.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+namespace {
+
+NetworkDecompOptions options_for(DecompAlgorithm algo, bool bounded = false,
+                                 CircuitStyle style = CircuitStyle::kStatic) {
+  NetworkDecompOptions o;
+  o.algorithm = algo;
+  o.bounded_height = bounded;
+  o.style = style;
+  return o;
+}
+
+TEST(NetworkDecomp, ProducesNandNetwork) {
+  Network net = testing::random_network(1, 6, 12, 3);
+  const auto r = decompose_network(net, options_for(DecompAlgorithm::kMinPower));
+  EXPECT_TRUE(r.network.is_nand_network());
+  for (NodeId id = 0; id < static_cast<NodeId>(r.network.capacity()); ++id) {
+    const Node& n = r.network.node(id);
+    if (n.is_internal())
+      EXPECT_TRUE(r.network.is_nand2(id) || r.network.is_inv(id));
+  }
+}
+
+TEST(NetworkDecomp, PreservesFunction) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Network net = testing::random_network(seed, 6, 14, 3);
+    for (const auto algo :
+         {DecompAlgorithm::kBalanced, DecompAlgorithm::kMinPower}) {
+      const auto r = decompose_network(net, options_for(algo));
+      EXPECT_TRUE(networks_equivalent(net, r.network))
+          << "seed " << seed << " algo " << static_cast<int>(algo);
+    }
+  }
+}
+
+TEST(NetworkDecomp, BoundedHeightPreservesFunction) {
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    Network net = testing::random_network(seed, 6, 14, 3);
+    const auto r = decompose_network(
+        net, options_for(DecompAlgorithm::kMinPower, /*bounded=*/true));
+    EXPECT_TRUE(networks_equivalent(net, r.network)) << "seed " << seed;
+  }
+}
+
+TEST(NetworkDecomp, MinpowerActivityNoWorseThanBalanced) {
+  // The decomposition objective (sum of tree switching activities) must not
+  // be worse under MINPOWER than under the conventional balanced scheme.
+  for (std::uint64_t seed = 30; seed <= 40; ++seed) {
+    Network net = testing::random_network(seed, 7, 16, 3);
+    const auto bal =
+        decompose_network(net, options_for(DecompAlgorithm::kBalanced));
+    const auto mp =
+        decompose_network(net, options_for(DecompAlgorithm::kMinPower));
+    EXPECT_LE(mp.tree_activity, bal.tree_activity + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(NetworkDecomp, MeasuredNetworkActivityTracksObjective) {
+  // The realized NAND network's total switching activity (decomposition
+  // objective + inverter overhead) should correlate with the tree
+  // objective: MINPOWER must not be significantly worse than balanced when
+  // measured on the actual network.
+  double bal_total = 0.0;
+  double mp_total = 0.0;
+  for (std::uint64_t seed = 50; seed <= 58; ++seed) {
+    Network net = testing::random_network(seed, 7, 16, 3);
+    const auto bal =
+        decompose_network(net, options_for(DecompAlgorithm::kBalanced));
+    const auto mp =
+        decompose_network(net, options_for(DecompAlgorithm::kMinPower));
+    bal_total += total_internal_activity(bal.network, CircuitStyle::kStatic);
+    mp_total += total_internal_activity(mp.network, CircuitStyle::kStatic);
+  }
+  EXPECT_LE(mp_total, bal_total * 1.02);
+}
+
+TEST(NetworkDecomp, BoundedHeightReducesDepthTowardBalanced) {
+  for (std::uint64_t seed = 60; seed <= 68; ++seed) {
+    Network net = testing::random_network(seed, 7, 18, 3);
+    const auto bal =
+        decompose_network(net, options_for(DecompAlgorithm::kBalanced));
+    const auto mp =
+        decompose_network(net, options_for(DecompAlgorithm::kMinPower));
+    const auto bh = decompose_network(
+        net, options_for(DecompAlgorithm::kMinPower, /*bounded=*/true));
+    EXPECT_LE(bh.unit_depth, mp.unit_depth) << "seed " << seed;
+    // (bh may even beat the canonical balanced depth: with negative
+    // literals a greedy shape can realize one level flatter, so no lower
+    // bound is asserted.)
+    (void)bal;
+    // Activity trades back toward balanced when nodes get flattened.
+    EXPECT_GE(bh.tree_activity, mp.tree_activity - 1e-9);
+  }
+}
+
+TEST(NetworkDecomp, ExplicitRequiredTimesAreRespectedWhenLoose) {
+  Network net = testing::random_network(70, 6, 12, 3);
+  const auto mp =
+      decompose_network(net, options_for(DecompAlgorithm::kMinPower));
+  NetworkDecompOptions o = options_for(DecompAlgorithm::kMinPower, true);
+  // Required = unrestricted depth → nothing to redecompose.
+  o.po_required.assign(net.pos().size(),
+                       static_cast<double>(mp.unit_depth));
+  const auto bh = decompose_network(net, o);
+  EXPECT_EQ(bh.redecomposed_nodes, 0);
+  EXPECT_NEAR(bh.tree_activity, mp.tree_activity, 1e-9);
+}
+
+TEST(NetworkDecomp, TightRequiredTimesTriggerRedecomposition) {
+  // Find a network where minpower is deeper than balanced, then require the
+  // balanced depth.
+  for (std::uint64_t seed = 80; seed < 120; ++seed) {
+    Network net = testing::random_network(seed, 7, 18, 3);
+    rugged_lite(net);
+    if (net.num_internal() < 4) continue;
+    const auto bal =
+        decompose_network(net, options_for(DecompAlgorithm::kBalanced));
+    const auto mp =
+        decompose_network(net, options_for(DecompAlgorithm::kMinPower));
+    if (mp.unit_depth <= bal.unit_depth) continue;
+    const auto bh = decompose_network(
+        net, options_for(DecompAlgorithm::kMinPower, /*bounded=*/true));
+    // The slack model is node-granular (the paper's "rough timing model"),
+    // so not every realized-depth gap is visible to it; look for an
+    // instance where the refinement actually fires.
+    if (bh.redecomposed_nodes == 0) continue;
+    EXPECT_LE(bh.unit_depth, mp.unit_depth) << "seed " << seed;
+    EXPECT_GE(bh.tree_activity, mp.tree_activity - 1e-9) << "seed " << seed;
+    return;  // one demonstrative instance suffices
+  }
+  GTEST_SKIP() << "no instance where the bounded-height loop fires";
+}
+
+TEST(NetworkDecomp, DynamicStyleWorks) {
+  Network net = testing::random_network(90, 6, 12, 3);
+  const auto r = decompose_network(
+      net, options_for(DecompAlgorithm::kMinPower, false,
+                       CircuitStyle::kDynamicP));
+  EXPECT_TRUE(networks_equivalent(net, r.network));
+  EXPECT_GT(r.tree_activity, 0.0);
+}
+
+TEST(NetworkDecomp, PiProbabilitiesFlowThrough) {
+  Network net("bias");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  Cover f{{Cube::literal(0, true) & Cube::literal(1, true) &
+           Cube::literal(2, true)}};
+  net.add_po("f", net.add_node({a, b, c}, f, "n"));
+
+  NetworkDecompOptions o = options_for(DecompAlgorithm::kMinPower, false,
+                                       CircuitStyle::kDynamicP);
+  o.pi_prob1 = {0.9, 0.9, 0.01};
+  const auto r = decompose_network(net, o);
+  // With one near-zero input, MINPOWER pairs it early; total tree activity
+  // must be below the balanced alternative.
+  const auto bal = decompose_network(
+      net, [&] {
+        NetworkDecompOptions ob = options_for(DecompAlgorithm::kBalanced,
+                                              false, CircuitStyle::kDynamicP);
+        ob.pi_prob1 = o.pi_prob1;
+        return ob;
+      }());
+  EXPECT_LE(r.tree_activity, bal.tree_activity + 1e-12);
+}
+
+}  // namespace
+}  // namespace minpower

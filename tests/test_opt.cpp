@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "opt/optimize.hpp"
+#include "prob/probability.hpp"
+
+namespace minpower {
+namespace {
+
+Cube lit(int v, bool pos = true) { return Cube::literal(v, pos); }
+
+TEST(Eliminate, CollapsesSingleLiteralNode) {
+  Network net("elim");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId t = net.add_inv(a, "t");     // value ≤ 0 node
+  const NodeId f = net.add_and2(t, b, "f");
+  net.add_po("out", f);
+  Network orig = net.duplicate();
+  const int n = eliminate(net, 0);
+  EXPECT_GE(n, 1);
+  net.check();
+  EXPECT_TRUE(networks_equivalent(orig, net));
+  // t is gone; f computes !a·b directly.
+  EXPECT_EQ(net.find("t"), kNoNode);
+}
+
+TEST(Eliminate, KeepsPoDrivers) {
+  Network net("podriver");
+  const NodeId a = net.add_pi("a");
+  const NodeId t = net.add_inv(a, "t");
+  net.add_po("out", t);
+  eliminate(net, 100);
+  EXPECT_NE(net.find("t"), kNoNode);
+}
+
+TEST(Eliminate, RespectsValueThreshold) {
+  // t = a·b + c·d feeding two AND readers. Substituting t duplicates its
+  // 4 literals at both readers: value = 2·(6−2) − 4 = +4 — kept at
+  // threshold 0, collapsed once the threshold admits the growth.
+  auto build = [] {
+    Network net("thresh");
+    const NodeId a = net.add_pi("a");
+    const NodeId b = net.add_pi("b");
+    const NodeId c = net.add_pi("c");
+    const NodeId d = net.add_pi("d");
+    const NodeId e = net.add_pi("e");
+    const NodeId f = net.add_pi("f");
+    Cover tc{{lit(0) & lit(1), lit(2) & lit(3)}};
+    const NodeId t = net.add_node({a, b, c, d}, tc, "t");
+    net.add_po("o1", net.add_and2(t, e, "f1"));
+    net.add_po("o2", net.add_and2(t, f, "f2"));
+    return net;
+  };
+  Network keep = build();
+  eliminate(keep, 0);
+  EXPECT_NE(keep.find("t"), kNoNode);  // above threshold: kept
+  Network gone = build();
+  eliminate(gone, 4);
+  EXPECT_EQ(gone.find("t"), kNoNode);  // now collapsed
+  gone.check();
+}
+
+TEST(CubeExtract, FindsSharedCube) {
+  Network net("fx");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  // Three nodes all containing the cube a·b.
+  const NodeId f1 = net.add_node({a, b, c}, Cover{{lit(0) & lit(1) & lit(2)}}, "f1");
+  const NodeId f2 = net.add_node({a, b, d}, Cover{{lit(0) & lit(1) & lit(2)}}, "f2");
+  const NodeId f3 = net.add_node({a, b}, Cover{{lit(0) & lit(1)}}, "f3");
+  net.add_po("o1", f1);
+  net.add_po("o2", f2);
+  net.add_po("o3", f3);
+  Network orig = net.duplicate();
+  const int created = extract_cube_divisors(net);
+  EXPECT_GE(created, 1);
+  net.check();
+  EXPECT_TRUE(networks_equivalent(orig, net));
+}
+
+TEST(KernelExtract, FindsSharedKernel) {
+  Network net("kx");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId e = net.add_pi("e");
+  // f1 = (a+b)·c·d, f2 = (a+b)·e — kernel (a+b) shared.
+  Cover f1c{{lit(0) & lit(2) & lit(3), lit(1) & lit(2) & lit(3)}};
+  Cover f2c{{lit(0) & lit(2), lit(1) & lit(2)}};
+  const NodeId f1 = net.add_node({a, b, c, d}, f1c, "f1");
+  const NodeId f2 = net.add_node({a, b, e}, f2c, "f2");
+  net.add_po("o1", f1);
+  net.add_po("o2", f2);
+  Network orig = net.duplicate();
+  const int created = extract_kernel_divisors(net);
+  EXPECT_GE(created, 1);
+  net.check();
+  EXPECT_TRUE(networks_equivalent(orig, net));
+  // Literal count must not have grown.
+  EXPECT_LE(net.num_literals(), orig.num_literals());
+}
+
+TEST(QuickDecompose, SplitsWideNodes) {
+  Network net("wide");
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 6; ++i) pis.push_back(net.add_pi("p" + std::to_string(i)));
+  Cover wide;
+  for (int i = 0; i < 6; ++i) wide.add(lit(i));
+  const NodeId f = net.add_node(pis, wide, "f");
+  net.add_po("out", f);
+  Network orig = net.duplicate();
+  const int split = quick_decompose(net, 3);
+  EXPECT_GE(split, 1);
+  net.check();
+  EXPECT_TRUE(networks_equivalent(orig, net));
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id)
+    if (net.node(id).is_internal())
+      EXPECT_LE(net.node(id).cover.num_cubes(), 3u);
+}
+
+// Property: the whole rugged-lite script preserves function on random nets.
+class RuggedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuggedProperty, PreservesFunction) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Network net = testing::random_network(seed + 500, 7, 18, 4);
+  Network orig = net.duplicate();
+  const OptStats stats = rugged_lite(net);
+  (void)stats;
+  net.check();
+  EXPECT_TRUE(networks_equivalent(orig, net)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RuggedProperty, ::testing::Range(0, 30));
+
+TEST(PowerExtract, PrefersLowActivityDivisors) {
+  // Two divisor candidates with equal share counts: (a·b) with skewed
+  // probabilities (low activity when exposed) and (c·d) with p=0.5 inputs
+  // (maximum activity). The power-aware extractor must pick the former
+  // first.
+  Network net("px");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  const NodeId d = net.add_pi("d");
+  const NodeId e = net.add_pi("e");
+  auto three_users = [&](NodeId x, NodeId y, const char* prefix) {
+    for (int k = 0; k < 3; ++k) {
+      Cover cover{{lit(0) & lit(1) & lit(2)}};
+      net.add_po(std::string(prefix) + std::to_string(k),
+                 net.add_node({x, y, e}, cover,
+                              std::string(prefix) + "n" + std::to_string(k)));
+    }
+  };
+  three_users(a, b, "ab");
+  three_users(c, d, "cd");
+
+  PowerOptOptions o;
+  o.pi_prob1 = {0.95, 0.9, 0.5, 0.5, 0.5};  // a·b is a quiet net; c·d is not
+  o.beta = 2.0;
+  o.max_rounds = 1;  // only the single best divisor
+  Network orig = net.duplicate();
+  const int created = extract_cube_divisors_power(net, o);
+  ASSERT_EQ(created, 1);
+  EXPECT_TRUE(networks_equivalent(orig, net));
+  // The created divisor reads a and b.
+  const NodeId px = net.find("px_0") != kNoNode ? net.find("px_0") : kNoNode;
+  ASSERT_NE(px, kNoNode);
+  const auto& fi = net.node(px).fanins;
+  EXPECT_TRUE((fi[0] == a && fi[1] == b) || (fi[0] == b && fi[1] == a));
+}
+
+TEST(PowerExtract, RuggedPowerPreservesFunction) {
+  for (std::uint64_t seed = 600; seed < 610; ++seed) {
+    Network net = testing::random_network(seed, 7, 18, 4);
+    Network orig = net.duplicate();
+    rugged_lite_power(net);
+    net.check();
+    EXPECT_TRUE(networks_equivalent(orig, net)) << seed;
+  }
+}
+
+TEST(PowerExtract, BetaZeroActsLikeCountGreedy) {
+  // With beta = 0 the score reduces to occurrences − 2, the same ordering
+  // the plain extractor uses; both must find a divisor on a shareable net.
+  Network net("beta0");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("c");
+  for (int k = 0; k < 3; ++k) {
+    Cover cover{{lit(0) & lit(1) & lit(2)}};
+    net.add_po("o" + std::to_string(k),
+               net.add_node({a, b, c}, cover, "u" + std::to_string(k)));
+  }
+  PowerOptOptions o;
+  o.beta = 0.0;
+  EXPECT_GE(extract_cube_divisors_power(net, o), 1);
+  net.check();
+}
+
+TEST(Rugged, TendsToReduceLiterals) {
+  // Aggregate over seeds: optimization should not systematically grow the
+  // networks it claims to optimize.
+  long before = 0;
+  long after = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Network net = testing::random_network(seed + 900, 7, 20, 4);
+    before += net.num_literals();
+    rugged_lite(net);
+    after += net.num_literals();
+  }
+  EXPECT_LE(after, before);
+}
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "decomp/network_decompose.hpp"
+#include "helpers.hpp"
+#include "power/report.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(PowerReport, HandComputedSingleGate) {
+  // One AND2 gate driving a PO of 2.0 unit loads; PIs a, b with p = 0.5.
+  Network net("one");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId n = net.add_nand2(a, b);
+  const NodeId i = net.add_inv(n);
+  net.add_po("f", i);
+
+  MapOptions o;
+  const MapResult r = map_network(net, standard_library(), o);
+  const MappedReport rep = evaluate_mapped(r.mapped, PowerParams::from(o));
+
+  // Expect the and2 cover: one gate, area 3.
+  ASSERT_EQ(rep.num_gates, 1u);
+  EXPECT_DOUBLE_EQ(rep.area, 3.0);
+
+  // Power: PI nets a and b each drive one and2 pin (cap 1.0), activity 0.5;
+  // the output net has load 2.0 with p(and)=0.25 → E = 2·0.25·0.75 = 0.375.
+  const double scale = 0.5 * kUnitCapFarads * 25.0 / 50e-9 * 1e6;  // per unit·E
+  const double want = scale * (1.0 * 0.5 + 1.0 * 0.5 + 2.0 * 0.375);
+  EXPECT_NEAR(rep.power_uw, want, 1e-9);
+
+  // Delay: and2 pin intrinsic 0.90 + drive 0.35 × load 2.0 = 1.6 ns.
+  EXPECT_NEAR(rep.delay, 0.90 + 0.35 * 2.0, 1e-9);
+}
+
+TEST(PowerReport, DelayUsesActualLoads) {
+  // Inverter chain: inv driving inv driving PO. First inverter's delay must
+  // use the second inverter's input cap, not the default load.
+  Network net("chain");
+  const NodeId a = net.add_pi("a");
+  const NodeId i1 = net.add_inv(a);
+  const NodeId i2 = net.add_inv(i1);
+  const NodeId i3 = net.add_inv(i2);
+  net.add_po("f", i3);
+
+  MapOptions o;
+  o.policy = RequiredTimePolicy::kUnconstrained;
+  const MapResult r = map_network(net, standard_library(), o);
+  const MappedReport rep = evaluate_mapped(r.mapped, PowerParams::from(o));
+  ASSERT_EQ(rep.num_gates, 3u);
+  // All inv1 when unconstrained (cheapest): delay = 2 × (0.40 + 0.45·1.0)
+  // + (0.40 + 0.45·2.0) for the PO stage.
+  EXPECT_NEAR(rep.delay, 2 * (0.40 + 0.45 * 1.0) + (0.40 + 0.45 * 2.0), 1e-9);
+}
+
+TEST(PowerReport, PowerScalesWithClockAndVdd) {
+  Network raw = testing::random_network(7, 6, 12, 3);
+  NetworkDecompOptions d;
+  Network net = decompose_network(raw, d).network;
+  MapOptions o;
+  const MapResult r = map_network(net, standard_library(), o);
+
+  PowerParams base = PowerParams::from(o);
+  const double p0 = evaluate_mapped(r.mapped, base).power_uw;
+
+  PowerParams faster = base;
+  faster.t_cycle = base.t_cycle / 2.0;  // 40 MHz
+  EXPECT_NEAR(evaluate_mapped(r.mapped, faster).power_uw, 2.0 * p0, 1e-6);
+
+  PowerParams lower_v = base;
+  lower_v.vdd = base.vdd / 2.0;
+  EXPECT_NEAR(evaluate_mapped(r.mapped, lower_v).power_uw, p0 / 4.0, 1e-6);
+}
+
+TEST(PowerReport, DynamicStyleChangesPower) {
+  Network raw = testing::random_network(8, 6, 12, 3);
+  NetworkDecompOptions d;
+  Network net = decompose_network(raw, d).network;
+  MapOptions o;
+  const MapResult r = map_network(net, standard_library(), o);
+  PowerParams st = PowerParams::from(o);
+  PowerParams dyn = st;
+  dyn.style = CircuitStyle::kDynamicP;
+  // Different activity model → different number (almost surely).
+  EXPECT_NE(evaluate_mapped(r.mapped, st).power_uw,
+            evaluate_mapped(r.mapped, dyn).power_uw);
+}
+
+TEST(PowerReport, PoArrivalPerOutput) {
+  Network raw = testing::random_network(9, 6, 12, 4);
+  NetworkDecompOptions d;
+  Network net = decompose_network(raw, d).network;
+  MapOptions o;
+  const MapResult r = map_network(net, standard_library(), o);
+  const MappedReport rep = evaluate_mapped(r.mapped, PowerParams::from(o));
+  ASSERT_EQ(rep.po_arrival.size(), net.pos().size());
+  double worst = 0.0;
+  for (double t : rep.po_arrival) worst = std::max(worst, t);
+  EXPECT_DOUBLE_EQ(rep.delay, worst);
+}
+
+TEST(PowerReport, PiArrivalShiftsDelay) {
+  Network net("arr");
+  const NodeId a = net.add_pi("a");
+  const NodeId i1 = net.add_inv(a);
+  net.add_po("f", i1);
+  MapOptions o;
+  const MapResult r = map_network(net, standard_library(), o);
+  PowerParams p = PowerParams::from(o);
+  const double d0 = evaluate_mapped(r.mapped, p).delay;
+  p.pi_arrival = {3.0};
+  EXPECT_NEAR(evaluate_mapped(r.mapped, p).delay, d0 + 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace minpower

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "io/blif.hpp"
+#include "prob/sequential.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(InferLatches, FromReaderConvention) {
+  const std::string text = R"(
+.model seq
+.inputs a
+.outputs f
+.latch nq q 0
+.names a q f
+11 1
+.names q nq
+0 1
+.end
+)";
+  const Network net = read_blif_string(text);
+  const auto latches = infer_latches(net);
+  ASSERT_EQ(latches.size(), 1u);
+  EXPECT_EQ(net.node(net.pis()[latches[0].pi_index]).name, "q");
+  EXPECT_EQ(net.pos()[latches[0].po_index].name, "q__next");
+}
+
+TEST(InferLatches, NoneInCombinationalCircuit) {
+  Network net("comb");
+  const NodeId a = net.add_pi("a");
+  net.add_po("f", net.add_inv(a));
+  EXPECT_TRUE(infer_latches(net).empty());
+}
+
+Network toggle_ff() {
+  // q' = !q (toggle flip-flop): fixpoint P(q) = 0.5 from any start.
+  Network net("toggle");
+  const NodeId q = net.add_pi("q");
+  net.add_po("q__next", net.add_inv(q));
+  return net;
+}
+
+TEST(SequentialProb, ToggleConvergesToHalf) {
+  Network net = toggle_ff();
+  SequentialProbOptions o;
+  o.initial_state_prob1 = {0.9};
+  const auto r =
+      sequential_pi_probabilities(net, infer_latches(net), o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.pi_prob1[0], 0.5, 1e-6);
+}
+
+TEST(SequentialProb, DecayingStateGoesToZero) {
+  // q' = q · e with P(e) = 0.8: fixpoint p = 0.8p → p = 0.
+  Network net("decay");
+  const NodeId q = net.add_pi("q");
+  const NodeId e = net.add_pi("e");
+  net.add_po("q__next", net.add_and2(q, e));
+  SequentialProbOptions o;
+  o.free_pi_prob1 = {0.8};
+  o.initial_state_prob1 = {1.0};
+  const auto r =
+      sequential_pi_probabilities(net, infer_latches(net), o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.pi_prob1[0], 0.0, 1e-6);
+}
+
+TEST(SequentialProb, SetDominantSaturates) {
+  // q' = q + s with P(s) = 0.3: p → 1 (absorbing set).
+  Network net("setdom");
+  const NodeId q = net.add_pi("q");
+  const NodeId s = net.add_pi("s");
+  net.add_po("q__next", net.add_or2(q, s));
+  SequentialProbOptions o;
+  o.free_pi_prob1 = {0.3};
+  o.initial_state_prob1 = {0.0};
+  const auto r =
+      sequential_pi_probabilities(net, infer_latches(net), o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.pi_prob1[0], 1.0, 1e-6);
+}
+
+TEST(SequentialProb, AnalyticFixpoint) {
+  // q' = s ⊕ q with P(s) = p: P(q') = p(1-q) + (1-p)q; fixpoint q = 0.5 for
+  // any p ≠ 0.5... solving q = p + q - 2pq → 0 = p - 2pq → q = 0.5.
+  Network net("xorfb");
+  const NodeId q = net.add_pi("q");
+  const NodeId s = net.add_pi("s");
+  Cover x{{Cube::literal(0, true) & Cube::literal(1, false),
+           Cube::literal(0, false) & Cube::literal(1, true)}};
+  net.add_po("q__next", net.add_node({q, s}, x, "x"));
+  SequentialProbOptions o;
+  o.free_pi_prob1 = {0.2};
+  o.initial_state_prob1 = {0.1};
+  const auto r =
+      sequential_pi_probabilities(net, infer_latches(net), o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.pi_prob1[0], 0.5, 1e-6);
+}
+
+TEST(SequentialProb, FreePiProbabilitiesAreKept) {
+  Network net("decay2");
+  const NodeId q = net.add_pi("q");
+  const NodeId e = net.add_pi("e");
+  net.add_po("q__next", net.add_and2(q, e));
+  SequentialProbOptions o;
+  o.free_pi_prob1 = {0.35};
+  const auto r =
+      sequential_pi_probabilities(net, infer_latches(net), o);
+  // PI order: q (latch), e (free) — e's probability must be preserved.
+  EXPECT_DOUBLE_EQ(r.pi_prob1[1], 0.35);
+}
+
+TEST(SequentialProb, TwoCoupledLatches) {
+  // Shift register: q1' = d, q2' = q1 with P(d) = 0.7: both converge to 0.7.
+  Network net("shift");
+  const NodeId q1 = net.add_pi("q1");
+  const NodeId q2 = net.add_pi("q2");
+  (void)q2;
+  const NodeId d = net.add_pi("d");
+  net.add_po("q1__next", net.add_buf(d, "b1"));
+  net.add_po("q2__next", net.add_buf(q1, "b2"));
+  SequentialProbOptions o;
+  o.free_pi_prob1 = {0.7};
+  const auto r =
+      sequential_pi_probabilities(net, infer_latches(net), o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.pi_prob1[0], 0.7, 1e-9);
+  EXPECT_NEAR(r.pi_prob1[1], 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace minpower

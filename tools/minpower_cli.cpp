@@ -1,0 +1,270 @@
+// minpower — command-line driver for the low-power synthesis library.
+//
+//   minpower stats  <in.blif>                      network statistics
+//   minpower opt    <in.blif> [-o out.blif] [--power]
+//                                                  rugged-lite optimization
+//   minpower decomp <in.blif> [-o out.blif] [-a balanced|minpower]
+//                   [--bounded] [--style static|dynp|dynn]
+//                                                  NAND decomposition
+//   minpower map    <in.blif> [-o mapped.blif] [-O power|area]
+//                   [--genlib lib.genlib] [--relax F] [--sim]
+//                                                  full flow + mapping report
+//   minpower flow   <in.blif> [--genlib lib.genlib]
+//                                                  run Methods I–VI, print table
+//   minpower verify <a.blif> <b.blif>              combinational equivalence
+//   minpower bench  <name> [-o out.blif]           emit a suite circuit
+//
+// Every subcommand reads plain BLIF; `map -o` writes the SIS .gate dialect.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "decomp/network_decompose.hpp"
+#include "flow/flow.hpp"
+#include "io/blif.hpp"
+#include "io/mapped_blif.hpp"
+#include "map/mapper.hpp"
+#include "opt/optimize.hpp"
+#include "power/report.hpp"
+#include "power/resize.hpp"
+#include "power/simulate.hpp"
+#include "prob/sequential.hpp"
+#include "sop/factor.hpp"
+#include "util/strings.hpp"
+
+using namespace minpower;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> out;
+  std::optional<std::string> genlib;
+  std::string algorithm = "minpower";
+  std::string objective = "power";
+  std::string style = "static";
+  bool bounded = false;
+  bool power_opt = false;
+  bool simulate = false;
+  bool resize = false;
+  bool sequential = false;
+  double relax = 1.15;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) {
+      MP_CHECK_MSG(i + 1 < argc, (std::string(flag) + " needs a value").c_str());
+      return std::string(argv[++i]);
+    };
+    if (arg == "-o") a.out = value("-o");
+    else if (arg == "--genlib") a.genlib = value("--genlib");
+    else if (arg == "-a") a.algorithm = value("-a");
+    else if (arg == "-O") a.objective = value("-O");
+    else if (arg == "--style") a.style = value("--style");
+    else if (arg == "--relax") a.relax = std::stod(value("--relax"));
+    else if (arg == "--bounded") a.bounded = true;
+    else if (arg == "--power") a.power_opt = true;
+    else if (arg == "--sim") a.simulate = true;
+    else if (arg == "--resize") a.resize = true;
+    else if (arg == "--seq") a.sequential = true;
+    else a.positional.push_back(arg);
+  }
+  return a;
+}
+
+CircuitStyle style_of(const std::string& s) {
+  if (s == "static") return CircuitStyle::kStatic;
+  if (s == "dynp") return CircuitStyle::kDynamicP;
+  if (s == "dynn") return CircuitStyle::kDynamicN;
+  MP_CHECK_MSG(false, "style must be static|dynp|dynn");
+  return CircuitStyle::kStatic;
+}
+
+Library load_library(const Args& a) {
+  if (!a.genlib) return Library::parse_genlib(standard_library_genlib(), "mp-lib2");
+  std::ifstream in(*a.genlib);
+  MP_CHECK_MSG(in.good(), "cannot open genlib file");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Library::parse_genlib(text, *a.genlib);
+}
+
+void emit_blif(const Network& net, const std::optional<std::string>& path) {
+  if (path) {
+    std::ofstream out(*path);
+    MP_CHECK_MSG(out.good(), "cannot open output file");
+    write_blif(net, out);
+  } else {
+    write_blif(net, std::cout);
+  }
+}
+
+int cmd_stats(const Args& a) {
+  const Network net = read_blif_file(a.positional.at(0));
+  int fact_lits = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id)
+    if (net.node(id).is_internal())
+      fact_lits += factored_literals(net.node(id).cover);
+  const auto latches = infer_latches(net);
+  std::printf("%-10s pis=%zu pos=%zu nodes=%zu literals=%d (factored %d) "
+              "depth=%d latches=%zu\n",
+              net.name().c_str(), net.pis().size(), net.pos().size(),
+              net.num_internal(), net.num_literals(), fact_lits, net.depth(),
+              latches.size());
+  if (!latches.empty()) {
+    const auto seq = sequential_pi_probabilities(net, latches);
+    std::printf("state-line fixpoint (%s after %d iterations):",
+                seq.converged ? "converged" : "NOT converged",
+                seq.iterations);
+    for (const LatchBinding& l : latches)
+      std::printf(" %s=%.3f",
+                  net.node(net.pis()[l.pi_index]).name.c_str(),
+                  seq.pi_prob1[l.pi_index]);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_opt(const Args& a) {
+  Network net = read_blif_file(a.positional.at(0));
+  const OptStats stats =
+      a.power_opt ? rugged_lite_power(net) : rugged_lite(net);
+  std::fprintf(stderr,
+               "eliminated=%d cube_divisors=%d kernel_divisors=%d "
+               "split=%d swept=%d → %zu nodes, %d literals\n",
+               stats.eliminated, stats.cube_divisors, stats.kernel_divisors,
+               stats.split_nodes, stats.swept, net.num_internal(),
+               net.num_literals());
+  emit_blif(net, a.out);
+  return 0;
+}
+
+int cmd_decomp(const Args& a) {
+  Network net = read_blif_file(a.positional.at(0));
+  prepare_network(net);
+  NetworkDecompOptions o;
+  o.style = style_of(a.style);
+  o.algorithm = a.algorithm == "balanced" ? DecompAlgorithm::kBalanced
+                                          : DecompAlgorithm::kMinPower;
+  o.bounded_height = a.bounded;
+  const NetworkDecompResult r = decompose_network(net, o);
+  std::fprintf(stderr,
+               "nand_nodes=%zu depth=%d tree_activity=%.4f redecomposed=%d\n",
+               r.network.num_internal(), r.unit_depth, r.tree_activity,
+               r.redecomposed_nodes);
+  emit_blif(r.network, a.out);
+  return 0;
+}
+
+int cmd_map(const Args& a) {
+  Network net = read_blif_file(a.positional.at(0));
+  std::vector<double> pi_prob;
+  if (a.sequential) {
+    const auto latches = infer_latches(net);
+    const auto seq = sequential_pi_probabilities(net, latches);
+    pi_prob = seq.pi_prob1;
+    std::fprintf(stderr, "sequential fixpoint: %zu latches, %s\n",
+                 latches.size(), seq.converged ? "converged" : "NOT converged");
+  }
+  prepare_network(net);
+  const Library lib = load_library(a);
+
+  NetworkDecompOptions d;
+  d.style = style_of(a.style);
+  d.algorithm = DecompAlgorithm::kMinPower;
+  // PI sets may shrink during optimization only by death of unused PIs; the
+  // PI list order is stable, so sequential probabilities still line up.
+  if (!pi_prob.empty()) d.pi_prob1 = pi_prob;
+  const NetworkDecompResult nd = decompose_network(net, d);
+
+  MapOptions m;
+  if (!pi_prob.empty()) m.pi_prob1 = pi_prob;
+  m.objective =
+      a.objective == "area" ? MapObjective::kArea : MapObjective::kPower;
+  m.style = style_of(a.style);
+  m.relax_factor = a.relax;
+  MapResult r = map_network(nd.network, lib, m);
+  if (a.resize) {
+    ResizeOptions ro;
+    ro.power = PowerParams::from(m);
+    const ResizeResult rr = downsize_gates(r.mapped, ro);
+    std::fprintf(stderr, "resize: %d swaps, %.1f -> %.1f uW\n", rr.swaps,
+                 rr.power_before, rr.power_after);
+  }
+  const MappedReport rep = evaluate_mapped(r.mapped, PowerParams::from(m));
+  std::fprintf(stderr,
+               "gates=%zu area=%.0f delay=%.2fns power=%.1fuW (zero-delay)\n",
+               rep.num_gates, rep.area, rep.delay, rep.power_uw);
+  if (a.simulate) {
+    SimPowerParams sp;
+    sp.base = PowerParams::from(m);
+    const SimPowerReport sim = simulate_power(r.mapped, sp);
+    std::fprintf(stderr, "glitch-aware power=%.1fuW (factor %.2f)\n",
+                 sim.power_uw, sim.glitch_factor);
+  }
+  if (a.out) {
+    std::ofstream out(*a.out);
+    MP_CHECK_MSG(out.good(), "cannot open output file");
+    write_mapped_blif(r.mapped, out);
+  } else {
+    write_mapped_blif(r.mapped, std::cout);
+  }
+  return 0;
+}
+
+int cmd_flow(const Args& a) {
+  Network net = read_blif_file(a.positional.at(0));
+  prepare_network(net);
+  const Library lib = load_library(a);
+  std::printf("%-8s %8s %8s %10s %7s\n", "method", "area", "delay", "power",
+              "gates");
+  for (const FlowResult& r : run_all_methods(net, lib))
+    std::printf("%-8s %8.0f %8.2f %10.1f %7zu\n", method_name(r.method),
+                r.area, r.delay, r.power_uw, r.gates);
+  return 0;
+}
+
+int cmd_verify(const Args& a) {
+  const Network x = read_blif_file(a.positional.at(0));
+  const Network y = read_blif_file(a.positional.at(1));
+  const bool eq = networks_equivalent(x, y);
+  std::printf("%s\n", eq ? "EQUIVALENT" : "NOT EQUIVALENT");
+  return eq ? 0 : 1;
+}
+
+int cmd_bench(const Args& a) {
+  const Network net = make_benchmark(a.positional.at(0));
+  emit_blif(net, a.out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: minpower <stats|opt|decomp|map|flow|verify|bench> "
+                 "...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args a = parse_args(argc, argv, 2);
+  if (cmd == "stats") return cmd_stats(a);
+  if (cmd == "opt") return cmd_opt(a);
+  if (cmd == "decomp") return cmd_decomp(a);
+  if (cmd == "map") return cmd_map(a);
+  if (cmd == "flow") return cmd_flow(a);
+  if (cmd == "verify") return cmd_verify(a);
+  if (cmd == "bench") return cmd_bench(a);
+  std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  return 2;
+}
