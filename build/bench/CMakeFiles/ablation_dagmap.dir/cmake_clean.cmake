@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dagmap.dir/ablation_dagmap.cpp.o"
+  "CMakeFiles/ablation_dagmap.dir/ablation_dagmap.cpp.o.d"
+  "ablation_dagmap"
+  "ablation_dagmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dagmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

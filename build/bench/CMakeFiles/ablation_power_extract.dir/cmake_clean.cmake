@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_extract.dir/ablation_power_extract.cpp.o"
+  "CMakeFiles/ablation_power_extract.dir/ablation_power_extract.cpp.o.d"
+  "ablation_power_extract"
+  "ablation_power_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_method.dir/ablation_power_method.cpp.o"
+  "CMakeFiles/ablation_power_method.dir/ablation_power_method.cpp.o.d"
+  "ablation_power_method"
+  "ablation_power_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

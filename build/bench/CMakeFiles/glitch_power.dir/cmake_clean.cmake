@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glitch_power.dir/glitch_power.cpp.o"
+  "CMakeFiles/glitch_power.dir/glitch_power.cpp.o.d"
+  "glitch_power"
+  "glitch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glitch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_decomp.dir/micro_decomp.cpp.o"
+  "CMakeFiles/micro_decomp.dir/micro_decomp.cpp.o.d"
+  "micro_decomp"
+  "micro_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_modified_huffman.dir/table1_modified_huffman.cpp.o"
+  "CMakeFiles/table1_modified_huffman.dir/table1_modified_huffman.cpp.o.d"
+  "table1_modified_huffman"
+  "table1_modified_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_modified_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table23_summary.dir/table23_summary.cpp.o"
+  "CMakeFiles/table23_summary.dir/table23_summary.cpp.o.d"
+  "table23_summary"
+  "table23_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table23_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_admap.dir/table2_admap.cpp.o"
+  "CMakeFiles/table2_admap.dir/table2_admap.cpp.o.d"
+  "table2_admap"
+  "table2_admap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_admap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pdmap.dir/table3_pdmap.cpp.o"
+  "CMakeFiles/table3_pdmap.dir/table3_pdmap.cpp.o.d"
+  "table3_pdmap"
+  "table3_pdmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pdmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_demo.dir/decomposition_demo.cpp.o"
+  "CMakeFiles/decomposition_demo.dir/decomposition_demo.cpp.o.d"
+  "decomposition_demo"
+  "decomposition_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

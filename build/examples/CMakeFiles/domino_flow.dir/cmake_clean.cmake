@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_flow.dir/domino_flow.cpp.o"
+  "CMakeFiles/domino_flow.dir/domino_flow.cpp.o.d"
+  "domino_flow"
+  "domino_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

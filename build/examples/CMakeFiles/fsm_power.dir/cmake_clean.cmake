@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_power.dir/fsm_power.cpp.o"
+  "CMakeFiles/fsm_power.dir/fsm_power.cpp.o.d"
+  "fsm_power"
+  "fsm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

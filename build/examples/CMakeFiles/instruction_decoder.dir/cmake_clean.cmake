@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_decoder.dir/instruction_decoder.cpp.o"
+  "CMakeFiles/instruction_decoder.dir/instruction_decoder.cpp.o.d"
+  "instruction_decoder"
+  "instruction_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_power_flow.dir/low_power_flow.cpp.o"
+  "CMakeFiles/low_power_flow.dir/low_power_flow.cpp.o.d"
+  "low_power_flow"
+  "low_power_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_power_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

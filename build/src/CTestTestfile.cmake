@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sop")
+subdirs("netlist")
+subdirs("io")
+subdirs("bdd")
+subdirs("prob")
+subdirs("opt")
+subdirs("decomp")
+subdirs("library")
+subdirs("map")
+subdirs("power")
+subdirs("benchgen")
+subdirs("flow")

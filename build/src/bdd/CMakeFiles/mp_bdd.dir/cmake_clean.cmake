@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/mp_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/mp_bdd.dir/isop.cpp.o"
+  "CMakeFiles/mp_bdd.dir/isop.cpp.o.d"
+  "libmp_bdd.a"
+  "libmp_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/huffman.cpp" "src/decomp/CMakeFiles/mp_decomp.dir/huffman.cpp.o" "gcc" "src/decomp/CMakeFiles/mp_decomp.dir/huffman.cpp.o.d"
+  "/root/repo/src/decomp/network_decompose.cpp" "src/decomp/CMakeFiles/mp_decomp.dir/network_decompose.cpp.o" "gcc" "src/decomp/CMakeFiles/mp_decomp.dir/network_decompose.cpp.o.d"
+  "/root/repo/src/decomp/node_decompose.cpp" "src/decomp/CMakeFiles/mp_decomp.dir/node_decompose.cpp.o" "gcc" "src/decomp/CMakeFiles/mp_decomp.dir/node_decompose.cpp.o.d"
+  "/root/repo/src/decomp/package_merge.cpp" "src/decomp/CMakeFiles/mp_decomp.dir/package_merge.cpp.o" "gcc" "src/decomp/CMakeFiles/mp_decomp.dir/package_merge.cpp.o.d"
+  "/root/repo/src/decomp/transition_model.cpp" "src/decomp/CMakeFiles/mp_decomp.dir/transition_model.cpp.o" "gcc" "src/decomp/CMakeFiles/mp_decomp.dir/transition_model.cpp.o.d"
+  "/root/repo/src/decomp/tree.cpp" "src/decomp/CMakeFiles/mp_decomp.dir/tree.cpp.o" "gcc" "src/decomp/CMakeFiles/mp_decomp.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/mp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sop/CMakeFiles/mp_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_decomp.dir/huffman.cpp.o"
+  "CMakeFiles/mp_decomp.dir/huffman.cpp.o.d"
+  "CMakeFiles/mp_decomp.dir/network_decompose.cpp.o"
+  "CMakeFiles/mp_decomp.dir/network_decompose.cpp.o.d"
+  "CMakeFiles/mp_decomp.dir/node_decompose.cpp.o"
+  "CMakeFiles/mp_decomp.dir/node_decompose.cpp.o.d"
+  "CMakeFiles/mp_decomp.dir/package_merge.cpp.o"
+  "CMakeFiles/mp_decomp.dir/package_merge.cpp.o.d"
+  "CMakeFiles/mp_decomp.dir/transition_model.cpp.o"
+  "CMakeFiles/mp_decomp.dir/transition_model.cpp.o.d"
+  "CMakeFiles/mp_decomp.dir/tree.cpp.o"
+  "CMakeFiles/mp_decomp.dir/tree.cpp.o.d"
+  "libmp_decomp.a"
+  "libmp_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_flow.dir/flow.cpp.o"
+  "CMakeFiles/mp_flow.dir/flow.cpp.o.d"
+  "libmp_flow.a"
+  "libmp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

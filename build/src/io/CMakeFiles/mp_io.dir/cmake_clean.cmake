@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_io.dir/blif.cpp.o"
+  "CMakeFiles/mp_io.dir/blif.cpp.o.d"
+  "CMakeFiles/mp_io.dir/mapped_blif.cpp.o"
+  "CMakeFiles/mp_io.dir/mapped_blif.cpp.o.d"
+  "libmp_io.a"
+  "libmp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_lib.dir/expr.cpp.o"
+  "CMakeFiles/mp_lib.dir/expr.cpp.o.d"
+  "CMakeFiles/mp_lib.dir/library.cpp.o"
+  "CMakeFiles/mp_lib.dir/library.cpp.o.d"
+  "CMakeFiles/mp_lib.dir/pattern.cpp.o"
+  "CMakeFiles/mp_lib.dir/pattern.cpp.o.d"
+  "libmp_lib.a"
+  "libmp_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_map.dir/curve.cpp.o"
+  "CMakeFiles/mp_map.dir/curve.cpp.o.d"
+  "CMakeFiles/mp_map.dir/mapped.cpp.o"
+  "CMakeFiles/mp_map.dir/mapped.cpp.o.d"
+  "CMakeFiles/mp_map.dir/mapper.cpp.o"
+  "CMakeFiles/mp_map.dir/mapper.cpp.o.d"
+  "CMakeFiles/mp_map.dir/match.cpp.o"
+  "CMakeFiles/mp_map.dir/match.cpp.o.d"
+  "libmp_map.a"
+  "libmp_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

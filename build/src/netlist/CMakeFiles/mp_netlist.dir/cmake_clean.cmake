@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_netlist.dir/network.cpp.o"
+  "CMakeFiles/mp_netlist.dir/network.cpp.o.d"
+  "libmp_netlist.a"
+  "libmp_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/optimize.cpp" "src/opt/CMakeFiles/mp_opt.dir/optimize.cpp.o" "gcc" "src/opt/CMakeFiles/mp_opt.dir/optimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/mp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sop/CMakeFiles/mp_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_opt.dir/optimize.cpp.o"
+  "CMakeFiles/mp_opt.dir/optimize.cpp.o.d"
+  "libmp_opt.a"
+  "libmp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_power.dir/report.cpp.o"
+  "CMakeFiles/mp_power.dir/report.cpp.o.d"
+  "CMakeFiles/mp_power.dir/resize.cpp.o"
+  "CMakeFiles/mp_power.dir/resize.cpp.o.d"
+  "CMakeFiles/mp_power.dir/simulate.cpp.o"
+  "CMakeFiles/mp_power.dir/simulate.cpp.o.d"
+  "libmp_power.a"
+  "libmp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

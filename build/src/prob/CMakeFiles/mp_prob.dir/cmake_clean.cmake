@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_prob.dir/joint.cpp.o"
+  "CMakeFiles/mp_prob.dir/joint.cpp.o.d"
+  "CMakeFiles/mp_prob.dir/pattern_model.cpp.o"
+  "CMakeFiles/mp_prob.dir/pattern_model.cpp.o.d"
+  "CMakeFiles/mp_prob.dir/probability.cpp.o"
+  "CMakeFiles/mp_prob.dir/probability.cpp.o.d"
+  "CMakeFiles/mp_prob.dir/sequential.cpp.o"
+  "CMakeFiles/mp_prob.dir/sequential.cpp.o.d"
+  "CMakeFiles/mp_prob.dir/transition.cpp.o"
+  "CMakeFiles/mp_prob.dir/transition.cpp.o.d"
+  "libmp_prob.a"
+  "libmp_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

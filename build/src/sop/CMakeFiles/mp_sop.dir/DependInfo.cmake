@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/algebra.cpp" "src/sop/CMakeFiles/mp_sop.dir/algebra.cpp.o" "gcc" "src/sop/CMakeFiles/mp_sop.dir/algebra.cpp.o.d"
+  "/root/repo/src/sop/cover.cpp" "src/sop/CMakeFiles/mp_sop.dir/cover.cpp.o" "gcc" "src/sop/CMakeFiles/mp_sop.dir/cover.cpp.o.d"
+  "/root/repo/src/sop/factor.cpp" "src/sop/CMakeFiles/mp_sop.dir/factor.cpp.o" "gcc" "src/sop/CMakeFiles/mp_sop.dir/factor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sop.dir/algebra.cpp.o"
+  "CMakeFiles/mp_sop.dir/algebra.cpp.o.d"
+  "CMakeFiles/mp_sop.dir/cover.cpp.o"
+  "CMakeFiles/mp_sop.dir/cover.cpp.o.d"
+  "CMakeFiles/mp_sop.dir/factor.cpp.o"
+  "CMakeFiles/mp_sop.dir/factor.cpp.o.d"
+  "libmp_sop.a"
+  "libmp_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decomp_tree.dir/test_decomp_tree.cpp.o"
+  "CMakeFiles/test_decomp_tree.dir/test_decomp_tree.cpp.o.d"
+  "test_decomp_tree"
+  "test_decomp_tree.pdb"
+  "test_decomp_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decomp_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

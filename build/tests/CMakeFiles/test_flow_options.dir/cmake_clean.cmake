@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_options.dir/test_flow_options.cpp.o"
+  "CMakeFiles/test_flow_options.dir/test_flow_options.cpp.o.d"
+  "test_flow_options"
+  "test_flow_options.pdb"
+  "test_flow_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

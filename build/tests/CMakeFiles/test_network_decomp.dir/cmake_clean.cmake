@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_decomp.dir/test_network_decomp.cpp.o"
+  "CMakeFiles/test_network_decomp.dir/test_network_decomp.cpp.o.d"
+  "test_network_decomp"
+  "test_network_decomp.pdb"
+  "test_network_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

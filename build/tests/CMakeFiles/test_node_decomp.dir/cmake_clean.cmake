@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_decomp.dir/test_node_decomp.cpp.o"
+  "CMakeFiles/test_node_decomp.dir/test_node_decomp.cpp.o.d"
+  "test_node_decomp"
+  "test_node_decomp.pdb"
+  "test_node_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

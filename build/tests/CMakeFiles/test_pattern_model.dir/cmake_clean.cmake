@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_model.dir/test_pattern_model.cpp.o"
+  "CMakeFiles/test_pattern_model.dir/test_pattern_model.cpp.o.d"
+  "test_pattern_model"
+  "test_pattern_model.pdb"
+  "test_pattern_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_transition.cpp" "tests/CMakeFiles/test_transition.dir/test_transition.cpp.o" "gcc" "tests/CMakeFiles/test_transition.dir/test_transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/mp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/mp_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/mp_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/mp_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/mp_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/mp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/mp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mp_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sop/CMakeFiles/mp_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minpower_cli.dir/minpower_cli.cpp.o"
+  "CMakeFiles/minpower_cli.dir/minpower_cli.cpp.o.d"
+  "minpower"
+  "minpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minpower_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
