@@ -1,0 +1,78 @@
+// bench_flow — the instrumented six-method flow over the paper suite.
+//
+// Runs the FlowEngine (shared decompositions, worker pool) on every circuit
+// of the 17-circuit suite and emits the machine-readable per-phase report
+// BENCH_flow.json (schema minpower.flow.v1; see DESIGN.md), plus a
+// human-readable summary table.
+//
+//   bench_flow [out.json] [max_circuits] [num_threads]
+//
+// Defaults: BENCH_flow.json, the full suite, hardware concurrency.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "flow/flow_engine.hpp"
+#include "util/stats.hpp"
+
+using namespace minpower;
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_flow.json";
+  const std::size_t max_circuits =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : SIZE_MAX;
+  const unsigned threads =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
+
+  std::vector<Network> suite = bench::prepared_suite();
+  if (suite.size() > max_circuits) suite.resize(max_circuits);
+  std::vector<const Network*> circuits;
+  for (const Network& net : suite) circuits.push_back(&net);
+
+  EngineOptions eo;
+  eo.num_threads = threads;
+  FlowEngine engine(standard_library(), eo);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::vector<FlowResult>> results =
+      engine.run_suite(circuits);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%-8s %-6s %8s %8s %10s %7s %9s %9s %9s\n", "circuit", "method",
+              "area", "delay", "power", "gates", "decomp_ms", "activ_ms",
+              "map_ms");
+  bench::print_rule(86);
+  RunningStats map_ms;
+  for (const std::vector<FlowResult>& rs : results)
+    for (const FlowResult& r : rs) {
+      std::printf("%-8s %-6s %8.0f %8.2f %10.1f %7zu %9.2f %9.2f %9.2f\n",
+                  r.circuit.c_str(), method_name(r.method), r.area, r.delay,
+                  r.power_uw, r.gates, r.phases.decomp_ms,
+                  r.phases.activity_ms, r.phases.map_ms);
+      map_ms.add(r.phases.map_ms);
+    }
+  bench::print_rule(86);
+  std::printf("engine: %d decompositions, %d activity passes, %d mappings "
+              "(%zu circuits × 6 methods), %u thread(s)\n",
+              engine.counters().decomp_passes,
+              engine.counters().activity_passes, engine.counters().map_passes,
+              circuits.size(), engine.effective_threads());
+  std::printf("map phase: mean %.2f ms, max %.2f ms; total wall %.1f ms\n",
+              map_ms.mean(), map_ms.max(), elapsed_ms);
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  write_flow_json(out, results, engine.counters(), engine.effective_threads(),
+                  elapsed_ms, standard_library().name());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,8 +1,21 @@
 #include "flow/flow.hpp"
 
+#include <chrono>
+
+#include "flow/flow_engine.hpp"
 #include "opt/optimize.hpp"
 
 namespace minpower {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 const char* method_name(Method m) {
   switch (m) {
@@ -24,14 +37,12 @@ const char* method_name(Method m) {
 
 void prepare_network(Network& net) { rugged_lite(net); }
 
-FlowResult run_method(const Network& prepared, Method method,
-                      const Library& lib, const FlowOptions& options) {
-  FlowResult r;
-  r.circuit = prepared.name();
-  r.method = method;
-
+NetworkDecompOptions decomp_options_for(Method method,
+                                        const FlowOptions& options) {
   NetworkDecompOptions d;
   d.style = options.style;
+  d.pi_prob1 = options.pi_prob1;
+  d.pi_arrival = options.pi_arrival;
   switch (method) {
     case Method::kI:
     case Method::kIV:
@@ -47,31 +58,66 @@ FlowResult run_method(const Network& prepared, Method method,
       d.bounded_height = true;
       break;
   }
-  const NetworkDecompResult nd = decompose_network(prepared, d);
-  r.tree_activity = nd.tree_activity;
-  r.nand_depth = nd.unit_depth;
-  r.nand_nodes = nd.network.num_internal();
-  r.redecomposed = nd.redecomposed_nodes;
+  return d;
+}
 
+MapOptions map_options_for(Method method, const FlowOptions& options) {
   MapOptions m;
   m.objective = (method == Method::kI || method == Method::kII ||
                  method == Method::kIII)
                     ? MapObjective::kArea
                     : MapObjective::kPower;
-  // One BDD pass over the subject serves both mapping and scoring.
-  m.activities = switching_activities(nd.network, options.style);
   m.dag = options.dag;
   m.style = options.style;
   m.vdd = options.vdd;
   m.t_cycle = options.t_cycle;
   m.po_load = options.po_load;
   m.epsilon_t = options.epsilon_t;
+  m.epsilon_c = options.epsilon_c;
   m.policy = options.policy;
   m.relax_factor = options.relax_factor;
-  const MapResult mapped = map_network(nd.network, lib, m);
+  m.pi_prob1 = options.pi_prob1;
+  m.pi_arrival = options.pi_arrival;
+  return m;
+}
 
+FlowResult run_method(const Network& prepared, Method method,
+                      const Library& lib, const FlowOptions& options) {
+  FlowResult r;
+  r.circuit = prepared.name();
+  r.method = method;
+
+  const NetworkDecompOptions d = decomp_options_for(method, options);
+  auto t0 = std::chrono::steady_clock::now();
+  const NetworkDecompResult nd = decompose_network(prepared, d);
+  r.phases.decomp_ms = ms_since(t0);
+  r.tree_activity = nd.tree_activity;
+  r.nand_depth = nd.unit_depth;
+  r.nand_nodes = nd.network.num_internal();
+  r.redecomposed = nd.redecomposed_nodes;
+  r.phases.redecomp_iterations = nd.redecomposed_nodes;
+  r.phases.decomp_passes = 1;
+
+  MapOptions m = map_options_for(method, options);
+  // One BDD pass over the subject serves both mapping and scoring.
+  ActivityPassStats astats;
+  t0 = std::chrono::steady_clock::now();
+  m.activities = switching_activities(nd.network, options.style,
+                                      options.pi_prob1, &astats);
+  r.phases.activity_ms = ms_since(t0);
+  r.phases.bdd_nodes = astats.bdd_nodes;
+  r.phases.activity_passes = 1;
+
+  t0 = std::chrono::steady_clock::now();
+  const MapResult mapped = map_network(nd.network, lib, m);
+  r.phases.map_ms = ms_since(t0);
+  r.phases.matches = mapped.total_matches;
+  r.phases.curve_points = mapped.total_curve_points;
+
+  t0 = std::chrono::steady_clock::now();
   const MappedReport rep =
       evaluate_mapped(mapped.mapped, PowerParams::from(m));
+  r.phases.eval_ms = ms_since(t0);
   r.area = rep.area;
   r.delay = rep.delay;
   r.power_uw = rep.power_uw;
@@ -82,11 +128,11 @@ FlowResult run_method(const Network& prepared, Method method,
 std::vector<FlowResult> run_all_methods(const Network& prepared,
                                         const Library& lib,
                                         const FlowOptions& options) {
-  std::vector<FlowResult> out;
-  for (Method m : {Method::kI, Method::kII, Method::kIII, Method::kIV,
-                   Method::kV, Method::kVI})
-    out.push_back(run_method(prepared, m, lib, options));
-  return out;
+  EngineOptions eo;
+  eo.flow = options;
+  eo.num_threads = options.num_threads;
+  FlowEngine engine(lib, eo);
+  return engine.run_circuit(prepared);
 }
 
 }  // namespace minpower

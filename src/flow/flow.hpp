@@ -10,8 +10,15 @@
 //
 // Every method starts from the same technology-independent optimization
 // (rugged-lite; the paper uses the SIS rugged script).
+//
+// Methods I/IV, II/V and III/VI operate on the *same* subject network (the
+// pairs differ only in the mapping objective), so a full six-method run needs
+// only three decompositions and three switching-activity passes. The
+// FlowEngine (flow_engine.hpp) exploits that; `run_all_methods` routes
+// through it.
 
 #include <string>
+#include <vector>
 
 #include "decomp/network_decompose.hpp"
 #include "library/library.hpp"
@@ -31,9 +38,47 @@ struct FlowOptions {
   double t_cycle = 50e-9;       // 20 MHz
   double po_load = 2.0;
   double epsilon_t = 0.02;
+  double epsilon_c = 1e-3;      // curve ε-pruning, cost axis
   RequiredTimePolicy policy = RequiredTimePolicy::kRelaxedMinDelay;
   double relax_factor = 1.35;
   DagHeuristic dag = DagHeuristic::kFanoutDivision;
+
+  /// Per-PI 1-probabilities (Network::pis() order); empty → 0.5 everywhere.
+  /// Reaches decomposition, mapping, and power reporting.
+  std::vector<double> pi_prob1;
+
+  /// Per-PI arrival times in ns (Network::pis() order); empty → all zero.
+  /// Reaches the bounded-height decomposition timing and the mapper's
+  /// required-time computation.
+  std::vector<double> pi_arrival;
+
+  /// Worker threads for `run_all_methods` (0 → hardware concurrency).
+  /// Results are deterministic and independent of the thread count.
+  unsigned num_threads = 1;
+};
+
+/// Per-phase instrumentation of one method run (wall times are the only
+/// fields that legitimately differ between repeated identical runs).
+struct PhaseStats {
+  double decomp_ms = 0.0;    // technology decomposition wall time
+  double activity_ms = 0.0;  // BDD switching-activity pass wall time
+  double map_ms = 0.0;       // curve construction + gate selection wall time
+  double eval_ms = 0.0;      // mapped-netlist evaluation wall time
+
+  std::size_t bdd_nodes = 0;     // BDD unique-table size, activity pass
+  std::size_t matches = 0;       // matches enumerated during mapping
+  std::size_t curve_points = 0;  // post-pruning curve points
+  int redecomp_iterations = 0;   // bounded-height refinement loop count
+
+  /// True when the decomposition / activity vector was computed once and
+  /// shared with the sibling method (I↔IV, II↔V, III↔VI) by the FlowEngine.
+  bool shared_decomp = false;
+  bool shared_activity = false;
+
+  /// Pass totals of the producing run (an engine run over one circuit does
+  /// 3 of each for 6 methods; a standalone `run_method` does 1 of each).
+  int decomp_passes = 0;
+  int activity_passes = 0;
 };
 
 struct FlowResult {
@@ -48,16 +93,28 @@ struct FlowResult {
   int nand_depth = 0;           // unit-delay depth of Γ'
   std::size_t nand_nodes = 0;
   int redecomposed = 0;         // bounded-height loop iterations
+  // Phase instrumentation (FlowEngine / run_method fill this in).
+  PhaseStats phases;
 };
 
 /// Apply rugged-lite preconditioning in place (every method's common start).
 void prepare_network(Network& net);
+
+/// Decomposition configuration of a method (shared by its sibling).
+NetworkDecompOptions decomp_options_for(Method method,
+                                        const FlowOptions& options);
+
+/// Mapping configuration of a method. `activities` is left empty; callers
+/// that share one activity pass across methods fill it in.
+MapOptions map_options_for(Method method, const FlowOptions& options);
 
 /// Run one method on an already-prepared network.
 FlowResult run_method(const Network& prepared, Method method,
                       const Library& lib, const FlowOptions& options = {});
 
 /// Convenience: run all six methods; results indexed by Method order.
+/// Internally uses the shared-decomposition FlowEngine: 3 decompositions and
+/// 3 activity passes total, parallel across `options.num_threads` workers.
 std::vector<FlowResult> run_all_methods(const Network& prepared,
                                         const Library& lib,
                                         const FlowOptions& options = {});

@@ -1,0 +1,228 @@
+#include "flow/flow_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <ostream>
+#include <thread>
+
+#include "util/json_writer.hpp"
+
+namespace minpower {
+
+namespace {
+
+constexpr Method kMethods[6] = {Method::kI,  Method::kII, Method::kIII,
+                                Method::kIV, Method::kV,  Method::kVI};
+
+/// Decomposition group of a method: I/IV → 0 (balanced), II/V → 1
+/// (MINPOWER), III/VI → 2 (BH-MINPOWER).
+std::size_t group_of(Method m) {
+  switch (m) {
+    case Method::kI:
+    case Method::kIV:
+      return 0;
+    case Method::kII:
+    case Method::kV:
+      return 1;
+    case Method::kIII:
+    case Method::kVI:
+      return 2;
+  }
+  return 0;
+}
+
+/// A representative method per group, used to derive the (identical)
+/// decomposition options the pair shares.
+constexpr Method kGroupMethod[3] = {Method::kI, Method::kII, Method::kIII};
+
+/// One decomposed subject network shared by a method pair.
+struct DecompGroup {
+  NetworkDecompResult nd;
+  std::vector<double> activities;
+  ActivityPassStats astats;
+  double decomp_ms = 0.0;
+  double activity_ms = 0.0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Run fn(0..n-1) across `threads` workers. Tasks are claimed from an
+/// atomic counter; each task writes only its own output slot, so results
+/// are independent of the interleaving.
+void parallel_for(std::size_t n, unsigned threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (threads > n) threads = static_cast<unsigned>(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+FlowEngine::FlowEngine(const Library& lib, EngineOptions options)
+    : lib_(lib), options_(std::move(options)) {}
+
+unsigned FlowEngine::effective_threads() const {
+  if (options_.num_threads != 0) return options_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+std::vector<FlowResult> FlowEngine::run_circuit(const Network& prepared) {
+  const Network* one[] = {&prepared};
+  std::vector<std::vector<FlowResult>> rs =
+      run_suite(std::vector<const Network*>(one, one + 1));
+  return std::move(rs.front());
+}
+
+std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
+    const std::vector<const Network*>& circuits) {
+  const std::size_t n = circuits.size();
+  const unsigned threads = effective_threads();
+  const FlowOptions& flow = options_.flow;
+
+  // ---- stage 1: one decomposition + one activity pass per distinct
+  // subject network (3 per circuit). ---------------------------------------
+  std::vector<DecompGroup> groups(n * 3);
+  parallel_for(n * 3, threads, [&](std::size_t t) {
+    const Network& net = *circuits[t / 3];
+    DecompGroup& g = groups[t];
+    const NetworkDecompOptions d =
+        decomp_options_for(kGroupMethod[t % 3], flow);
+    auto t0 = std::chrono::steady_clock::now();
+    g.nd = decompose_network(net, d);
+    g.decomp_ms = ms_since(t0);
+    t0 = std::chrono::steady_clock::now();
+    g.activities = switching_activities(g.nd.network, flow.style,
+                                        flow.pi_prob1, &g.astats);
+    g.activity_ms = ms_since(t0);
+  });
+  counters_.decomp_passes += static_cast<int>(n) * 3;
+  counters_.activity_passes += static_cast<int>(n) * 3;
+
+  // ---- stage 2: map + evaluate each (circuit × method) over the shared
+  // subject. ---------------------------------------------------------------
+  std::vector<std::vector<FlowResult>> out(n, std::vector<FlowResult>(6));
+  parallel_for(n * 6, threads, [&](std::size_t t) {
+    const std::size_t ci = t / 6;
+    const Method method = kMethods[t % 6];
+    const Network& prepared = *circuits[ci];
+    const DecompGroup& g = groups[ci * 3 + group_of(method)];
+
+    FlowResult r;
+    r.circuit = prepared.name();
+    r.method = method;
+    r.tree_activity = g.nd.tree_activity;
+    r.nand_depth = g.nd.unit_depth;
+    r.nand_nodes = g.nd.network.num_internal();
+    r.redecomposed = g.nd.redecomposed_nodes;
+    r.phases.decomp_ms = g.decomp_ms;
+    r.phases.activity_ms = g.activity_ms;
+    r.phases.bdd_nodes = g.astats.bdd_nodes;
+    r.phases.redecomp_iterations = g.nd.redecomposed_nodes;
+    r.phases.shared_decomp = true;
+    r.phases.shared_activity = true;
+    r.phases.decomp_passes = 3;
+    r.phases.activity_passes = 3;
+
+    MapOptions m = map_options_for(method, flow);
+    m.activities = g.activities;
+    auto t0 = std::chrono::steady_clock::now();
+    const MapResult mapped = map_network(g.nd.network, lib_, m);
+    r.phases.map_ms = ms_since(t0);
+    r.phases.matches = mapped.total_matches;
+    r.phases.curve_points = mapped.total_curve_points;
+
+    t0 = std::chrono::steady_clock::now();
+    const MappedReport rep =
+        evaluate_mapped(mapped.mapped, PowerParams::from(m));
+    r.phases.eval_ms = ms_since(t0);
+    r.area = rep.area;
+    r.delay = rep.delay;
+    r.power_uw = rep.power_uw;
+    r.gates = rep.num_gates;
+    out[ci][t % 6] = std::move(r);
+  });
+  counters_.map_passes += static_cast<int>(n) * 6;
+  return out;
+}
+
+void write_flow_json(std::ostream& os,
+                     const std::vector<std::vector<FlowResult>>& per_circuit,
+                     const EngineCounters& counters, unsigned num_threads,
+                     double elapsed_ms, const std::string& library_name) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "minpower.flow.v1");
+  w.field("library", library_name);
+  w.field("num_threads", num_threads);
+  w.field("elapsed_ms", elapsed_ms);
+  w.key("engine");
+  w.begin_object();
+  w.field("decomp_passes", counters.decomp_passes);
+  w.field("activity_passes", counters.activity_passes);
+  w.field("map_passes", counters.map_passes);
+  w.end_object();
+  w.key("circuits");
+  w.begin_array();
+  for (const std::vector<FlowResult>& methods : per_circuit) {
+    w.begin_object();
+    w.field("name", methods.empty() ? std::string() : methods.front().circuit);
+    w.key("methods");
+    w.begin_array();
+    for (const FlowResult& r : methods) {
+      w.begin_object();
+      w.field("method", method_name(r.method));
+      w.field("area", r.area);
+      w.field("delay_ns", r.delay);
+      w.field("power_uw", r.power_uw);
+      w.field("gates", r.gates);
+      w.field("tree_activity", r.tree_activity);
+      w.field("nand_depth", r.nand_depth);
+      w.field("nand_nodes", r.nand_nodes);
+      w.field("redecomposed", r.redecomposed);
+      w.key("phases");
+      w.begin_object();
+      w.field("decomp_ms", r.phases.decomp_ms);
+      w.field("activity_ms", r.phases.activity_ms);
+      w.field("map_ms", r.phases.map_ms);
+      w.field("eval_ms", r.phases.eval_ms);
+      w.field("bdd_nodes", r.phases.bdd_nodes);
+      w.field("matches", r.phases.matches);
+      w.field("curve_points", r.phases.curve_points);
+      w.field("redecomp_iterations", r.phases.redecomp_iterations);
+      w.field("shared_decomp", r.phases.shared_decomp);
+      w.field("shared_activity", r.phases.shared_activity);
+      w.field("decomp_passes", r.phases.decomp_passes);
+      w.field("activity_passes", r.phases.activity_passes);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace minpower

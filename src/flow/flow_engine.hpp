@@ -1,0 +1,77 @@
+#pragma once
+// FlowEngine: the shared-decomposition, multi-threaded runner behind the
+// six-method evaluation of Tables 2–3.
+//
+// The method pairs I/IV, II/V and III/VI differ only in the mapping
+// objective — they operate on the *same* decomposed subject network. The
+// engine therefore splits a run into two fan-out stages:
+//
+//   stage 1  (circuit × decomposition group, 3 per circuit):
+//            decompose once, run one BDD switching-activity pass over the
+//            resulting subject network;
+//   stage 2  (circuit × method, 6 per circuit):
+//            map the shared subject with the method's objective and
+//            evaluate the mapped netlist, reusing the shared activities.
+//
+// Threading model: independent tasks are executed on a std::thread worker
+// pool (work-stealing via an atomic task index). Every task that needs BDDs
+// builds its own BddManager internally — the manager is not thread-safe and
+// is never shared across threads. All shared inputs (Network, Library,
+// options) are read-only during a run. Results are written to pre-sized
+// slots indexed by (circuit, method), so output ordering — and every
+// computed value — is deterministic and independent of the thread count.
+
+#include <iosfwd>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace minpower {
+
+struct EngineOptions {
+  FlowOptions flow;
+  /// Worker threads (0 → hardware concurrency). 1 runs inline.
+  unsigned num_threads = 1;
+};
+
+/// Cumulative pass counts over the engine's lifetime (across run_* calls).
+struct EngineCounters {
+  int decomp_passes = 0;    // decompose_network invocations
+  int activity_passes = 0;  // switching_activities invocations
+  int map_passes = 0;       // map_network invocations
+};
+
+class FlowEngine {
+ public:
+  explicit FlowEngine(const Library& lib, EngineOptions options = {});
+
+  /// All six methods of one prepared circuit, in Method order.
+  /// Performs exactly 3 decompositions and 3 activity passes.
+  std::vector<FlowResult> run_circuit(const Network& prepared);
+
+  /// Fan out (circuit × method) over the pool; result [i] holds circuit i's
+  /// six methods in Method order. 3·n decompositions, 3·n activity passes.
+  std::vector<std::vector<FlowResult>> run_suite(
+      const std::vector<const Network*>& circuits);
+
+  const EngineCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = EngineCounters{}; }
+
+  /// The thread count a run will actually use (resolves 0).
+  unsigned effective_threads() const;
+
+ private:
+  const Library& lib_;
+  EngineOptions options_;
+  EngineCounters counters_;
+};
+
+/// Serialize per-circuit six-method results (plus engine pass counters) as
+/// the machine-readable flow-bench schema `minpower.flow.v1` — see
+/// DESIGN.md §"Flow engine" for the field list.
+void write_flow_json(std::ostream& os,
+                     const std::vector<std::vector<FlowResult>>& per_circuit,
+                     const EngineCounters& counters, unsigned num_threads,
+                     double elapsed_ms, const std::string& library_name);
+
+}  // namespace minpower

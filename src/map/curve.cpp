@@ -31,8 +31,12 @@ void Curve::prune(double epsilon_t, double epsilon_c) {
   for (std::size_t i = 1; i + 1 < points_.size(); ++i) {
     const CurvePoint& prev = kept.back();
     const CurvePoint& cur = points_[i];
-    if (cur.arrival - prev.arrival < epsilon_t) continue;  // barely slower
-    if (prev.cost - cur.cost < epsilon_c) continue;        // barely cheaper
+    // Drop only when the kept point approximates `cur` on BOTH axes: barely
+    // slower AND barely cheaper. A point that is barely slower but much
+    // cheaper carries real information and must survive.
+    const bool barely_slower = cur.arrival - prev.arrival < epsilon_t;
+    const bool barely_cheaper = prev.cost - cur.cost < epsilon_c;
+    if (barely_slower && barely_cheaper) continue;
     kept.push_back(cur);
   }
   kept.push_back(points_.back());  // cheapest

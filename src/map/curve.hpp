@@ -33,9 +33,11 @@ class Curve {
   /// arrival ascending (hence cost strictly descending).
   void insert(CurvePoint p);
 
-  /// Drop points whose arrival is within `epsilon_t` of a cheaper neighbor,
-  /// or whose cost is within `epsilon_c` (Sec. 3.2.1's ε-pruning). Endpoints
-  /// (fastest and cheapest) are always kept.
+  /// Drop points approximated by the previously kept point on both axes:
+  /// arrival within `epsilon_t` AND cost saving below `epsilon_c`
+  /// (Sec. 3.2.1's ε-pruning). A point that is barely slower but much
+  /// cheaper is kept. Endpoints (fastest and cheapest) are always kept;
+  /// `epsilon_c == 0` disables pruning entirely.
   void prune(double epsilon_t, double epsilon_c);
 
   /// Index of the cheapest point with arrival ≤ `required` after shifting

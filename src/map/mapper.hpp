@@ -59,8 +59,11 @@ struct MapOptions {
   double t_cycle = 50e-9;     // seconds (20 MHz)
   double po_load = 2.0;       // unit loads hanging on each primary output
 
-  double epsilon_t = 0.02;    // curve ε-pruning, time axis (ns)
-  double epsilon_c = 0.0;     // curve ε-pruning, cost axis
+  // Curve ε-pruning: a point is dropped only when it is within epsilon_t of
+  // the kept neighbor on the time axis AND saves less than epsilon_c on the
+  // cost axis. epsilon_c = 0 keeps every non-inferior point.
+  double epsilon_t = 0.02;    // time axis (ns)
+  double epsilon_c = 1e-3;    // cost axis (µW or area units)
 
   RequiredTimePolicy policy = RequiredTimePolicy::kRelaxedMinDelay;
   double relax_factor = 1.15;

@@ -66,6 +66,39 @@ SimPowerReport simulate_power(const MappedNetwork& mn,
   std::vector<long long> transitions(cap, 0);
   std::vector<char> value(cap, 0);
 
+  // Gate evaluation order for settling: producers before consumers. The
+  // stored gate order is documented as topological, but nothing upstream
+  // enforces it (hand-built or deserialized netlists may violate it), and
+  // evaluating out of order silently yields wrong initial values — so
+  // derive a topological order here (Kahn's algorithm over the
+  // gate-reads-gate relation) and abort on combinational cycles.
+  std::vector<std::size_t> eval_order;
+  {
+    std::vector<int> driver(cap, -1);
+    for (std::size_t gi = 0; gi < mn.gates.size(); ++gi)
+      driver[static_cast<std::size_t>(mn.gates[gi].root)] =
+          static_cast<int>(gi);
+    std::vector<int> pending(mn.gates.size(), 0);
+    for (std::size_t gi = 0; gi < mn.gates.size(); ++gi)
+      for (NodeId s : mn.gates[gi].pin_nodes)
+        if (driver[static_cast<std::size_t>(s)] >= 0)
+          ++pending[gi];
+    eval_order.reserve(mn.gates.size());
+    for (std::size_t gi = 0; gi < mn.gates.size(); ++gi)
+      if (pending[gi] == 0) eval_order.push_back(gi);
+    for (std::size_t head = 0; head < eval_order.size(); ++head) {
+      const std::size_t gi = eval_order[head];
+      for (const auto& [ri, pin] :
+           readers[static_cast<std::size_t>(mn.gates[gi].root)]) {
+        (void)pin;
+        if (--pending[static_cast<std::size_t>(ri)] == 0)
+          eval_order.push_back(static_cast<std::size_t>(ri));
+      }
+    }
+    MP_CHECK_MSG(eval_order.size() == mn.gates.size(),
+                 "mapped netlist has a combinational cycle");
+  }
+
   auto settle = [&](const std::vector<bool>& pi_vals) {
     for (std::size_t i = 0; i < npi; ++i)
       value[static_cast<std::size_t>(subject.pis()[i])] = pi_vals[i] ? 1 : 0;
@@ -73,7 +106,7 @@ SimPowerReport simulate_power(const MappedNetwork& mn,
       if (subject.node(id).is_const())
         value[static_cast<std::size_t>(id)] =
             subject.node(id).kind == NodeKind::kConstant1;
-    for (std::size_t gi = 0; gi < mn.gates.size(); ++gi)
+    for (const std::size_t gi : eval_order)
       value[static_cast<std::size_t>(mn.gates[gi].root)] =
           gate_out(gi, value) ? 1 : 0;
   };

@@ -78,11 +78,13 @@ NetworkBdds::NetworkBdds(BddManager& mgr, const Network& net) : mgr_(mgr) {
 }
 
 std::vector<double> signal_probabilities(const Network& net,
-                                         std::vector<double> pi_prob1) {
+                                         std::vector<double> pi_prob1,
+                                         ActivityPassStats* stats) {
   if (pi_prob1.empty()) pi_prob1.assign(net.pis().size(), 0.5);
   MP_CHECK(pi_prob1.size() == net.pis().size());
   BddManager mgr;
   const NetworkBdds bdds(mgr, net);
+  if (stats) stats->bdd_nodes = mgr.num_nodes();
   const std::vector<double> by_var = bdds.to_variable_order(pi_prob1);
   std::vector<double> p(net.capacity(), 0.0);
   for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
@@ -95,8 +97,10 @@ std::vector<double> signal_probabilities(const Network& net,
 
 std::vector<double> switching_activities(const Network& net,
                                          CircuitStyle style,
-                                         std::vector<double> pi_prob1) {
-  std::vector<double> p = signal_probabilities(net, std::move(pi_prob1));
+                                         std::vector<double> pi_prob1,
+                                         ActivityPassStats* stats) {
+  std::vector<double> p =
+      signal_probabilities(net, std::move(pi_prob1), stats);
   for (double& x : p) x = switching_activity(x, style);
   return p;
 }

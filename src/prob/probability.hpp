@@ -75,16 +75,25 @@ class NetworkBdds {
   std::vector<int> pi_var_order_;
 };
 
+/// Diagnostics of one BDD probability/activity pass, for the flow-engine
+/// phase instrumentation.
+struct ActivityPassStats {
+  std::size_t bdd_nodes = 0;  // unique-table size after building all BDDs
+};
+
 /// Per-node exact signal probabilities P(node = 1).
 /// `pi_prob1[i]` is the probability of PI i (Network::pis() order); pass an
 /// empty vector for the uniform 0.5 default used throughout the paper.
+/// `stats`, when non-null, receives pass diagnostics.
 std::vector<double> signal_probabilities(const Network& net,
-                                         std::vector<double> pi_prob1 = {});
+                                         std::vector<double> pi_prob1 = {},
+                                         ActivityPassStats* stats = nullptr);
 
 /// Per-node switching activities under `style` (same indexing as nodes).
 std::vector<double> switching_activities(const Network& net,
                                          CircuitStyle style,
-                                         std::vector<double> pi_prob1 = {});
+                                         std::vector<double> pi_prob1 = {},
+                                         ActivityPassStats* stats = nullptr);
 
 /// Sum of switching activities over internal nodes (the decomposition
 /// objective of Section 2); optionally also count PI activity, as the

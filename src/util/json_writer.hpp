@@ -1,0 +1,155 @@
+#pragma once
+// Minimal streaming JSON writer for machine-readable bench/flow reports.
+//
+// No DOM, no allocation beyond a nesting stack: values are emitted directly
+// to the output stream with commas and indentation handled automatically.
+// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+//
+//   JsonWriter w(os);
+//   w.begin_object();
+//     w.key("name"); w.value("c432");
+//     w.key("methods"); w.begin_array();
+//       ...
+//     w.end_array();
+//   w.end_object();
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace minpower {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true)
+      : os_(os), pretty_(pretty) {}
+
+  ~JsonWriter() { MP_DCHECK(stack_.empty()); }
+
+  void begin_object() { open('{', Frame::kObject); }
+  void end_object() { close('}', Frame::kObject); }
+  void begin_array() { open('[', Frame::kArray); }
+  void end_array() { close(']', Frame::kArray); }
+
+  /// Key of the next value; only valid directly inside an object.
+  void key(std::string_view k) {
+    MP_CHECK_MSG(!stack_.empty() && stack_.back().kind == Frame::kObject,
+                 "JsonWriter::key outside of an object");
+    MP_CHECK_MSG(!stack_.back().have_key, "JsonWriter: two keys in a row");
+    separate();
+    write_string(k);
+    os_ << (pretty_ ? ": " : ":");
+    stack_.back().have_key = true;
+  }
+
+  void value(std::string_view s) { value_prefix(); write_string(s); }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(const std::string& s) { value(std::string_view(s)); }
+  void value(bool b) { value_prefix(); os_ << (b ? "true" : "false"); }
+  void value(double d) {
+    value_prefix();
+    if (!std::isfinite(d)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os_ << buf;
+  }
+  void value(int v) { value_prefix(); os_ << v; }
+  void value(long v) { value_prefix(); os_ << v; }
+  void value(long long v) { value_prefix(); os_ << v; }
+  void value(unsigned v) { value_prefix(); os_ << v; }
+  void value(unsigned long v) { value_prefix(); os_ << v; }
+  void value(unsigned long long v) { value_prefix(); os_ << v; }
+  void null() { value_prefix(); os_ << "null"; }
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void field(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  struct Frame {
+    enum Kind { kObject, kArray } kind;
+    bool first = true;
+    bool have_key = false;
+  };
+
+  void open(char c, Frame::Kind kind) {
+    value_prefix();
+    os_ << c;
+    stack_.push_back(Frame{kind, true, false});
+  }
+
+  void close(char c, Frame::Kind kind) {
+    MP_CHECK_MSG(!stack_.empty() && stack_.back().kind == kind,
+                 "JsonWriter: mismatched close");
+    MP_CHECK_MSG(!stack_.back().have_key, "JsonWriter: dangling key");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (pretty_ && !empty) newline_indent();
+    os_ << c;
+  }
+
+  /// Comma/indent before a value or key at the current nesting level.
+  void separate() {
+    if (stack_.empty()) return;
+    if (!stack_.back().first) os_ << ',';
+    stack_.back().first = false;
+    if (pretty_) newline_indent();
+  }
+
+  void value_prefix() {
+    if (stack_.empty()) return;  // top-level value
+    if (stack_.back().kind == Frame::kObject) {
+      MP_CHECK_MSG(stack_.back().have_key,
+                   "JsonWriter: object value without a key");
+      stack_.back().have_key = false;
+    } else {
+      separate();
+    }
+  }
+
+  void newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(ch)));
+            os_ << buf;
+          } else {
+            os_ << ch;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace minpower

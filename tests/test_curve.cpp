@@ -60,7 +60,9 @@ TEST(Curve, PruneKeepsEndpoints) {
   Curve c;
   for (int i = 0; i < 10; ++i)
     c.insert(pt(1.0 + 0.001 * i, 10.0 - i));
-  c.prune(0.5, 0.0);
+  // All interior points are within 0.5 in time AND save less than 20 in
+  // cost relative to the fastest point — everything in between is pruned.
+  c.prune(0.5, 20.0);
   EXPECT_EQ(c.size(), 2u);  // only the fastest and the cheapest survive
   EXPECT_DOUBLE_EQ(c[0].arrival, 1.0);
   EXPECT_DOUBLE_EQ(c[c.size() - 1].cost, 1.0);
@@ -72,6 +74,24 @@ TEST(Curve, PruneEpsilonZeroKeepsAll) {
   const std::size_t before = c.size();
   c.prune(0.0, 0.0);
   EXPECT_EQ(c.size(), before);
+}
+
+TEST(Curve, PruneKeepsLargeCostSavingPoint) {
+  // A point that is barely slower but MUCH cheaper must survive: both
+  // epsilon conditions are required before dropping (dropping on the time
+  // condition alone would forfeit a 90-unit cost saving).
+  Curve c;
+  c.insert(pt(1.0, 100.0));
+  c.insert(pt(1.001, 10.0));  // barely slower, saves 90
+  c.insert(pt(1.002, 9.5));   // barely slower, saves only 0.5
+  c.insert(pt(2.0, 9.0));
+  c.insert(pt(3.0, 1.0));
+  c.prune(0.5, 5.0);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0].cost, 100.0);
+  EXPECT_DOUBLE_EQ(c[1].cost, 10.0);  // the big saver survived
+  EXPECT_DOUBLE_EQ(c[2].cost, 9.0);   // the 0.5-saver was pruned
+  EXPECT_DOUBLE_EQ(c[3].cost, 1.0);
 }
 
 TEST(Curve, BestWithin) {

@@ -78,6 +78,38 @@ TEST(FlowOptions, StylePropagatesToDecompositionAndScoring) {
   EXPECT_NE(stat.power_uw, dyn.power_uw);
 }
 
+TEST(FlowOptions, BiasedPiProbabilitiesChangeMethodVPower) {
+  // Regression: FlowOptions used to silently drop user-supplied PI
+  // statistics — decomposition, mapping and power reporting all saw the
+  // uniform 0.5 default. Biased probabilities must change the Method V
+  // result end to end.
+  Network net = prepared(110);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions biased;
+  biased.pi_prob1.assign(net.pis().size(), 0.95);
+  const FlowResult base = run_method(net, Method::kV, standard_library());
+  const FlowResult skew =
+      run_method(net, Method::kV, standard_library(), biased);
+  // The bias reaches the decomposition objective (probability-weighted tree
+  // activity) and the power report.
+  EXPECT_NE(skew.tree_activity, base.tree_activity);
+  EXPECT_NE(skew.power_uw, base.power_uw);
+}
+
+TEST(FlowOptions, PiArrivalReachesMappingAndReporting) {
+  Network net = prepared(111);
+  if (net.num_internal() == 0) GTEST_SKIP();
+  FlowOptions late;
+  late.pi_arrival.assign(net.pis().size(), 7.0);
+  const FlowResult base = run_method(net, Method::kIV, standard_library());
+  const FlowResult shifted =
+      run_method(net, Method::kIV, standard_library(), late);
+  // Every path now starts 7 ns late; the reported critical path must
+  // reflect it.
+  EXPECT_GE(shifted.delay, 7.0);
+  EXPECT_GT(shifted.delay, base.delay);
+}
+
 TEST(MapperOptions, PrecomputedActivitiesMatchInternal) {
   Network raw = testing::random_network(106, 6, 12, 3);
   NetworkDecompOptions d;

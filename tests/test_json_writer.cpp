@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json_writer.hpp"
+
+namespace minpower {
+namespace {
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("a", 1);
+    w.key("b");
+    w.begin_array();
+    w.value(true);
+    w.value(false);
+    w.null();
+    w.end_array();
+    w.field("c", "x");
+    w.end_object();
+  }
+  EXPECT_EQ(os.str(), R"({"a":1,"b":[true,false,null],"c":"x"})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, false);
+    w.begin_object();
+    w.field("k\"1", "line\nbreak\ttab\\slash");
+    w.field("ctl", std::string("\x01", 1));
+    w.end_object();
+  }
+  EXPECT_EQ(os.str(),
+            "{\"k\\\"1\":\"line\\nbreak\\ttab\\\\slash\",\"ctl\":\"\\u0001\"}");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteBecomesNull) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, false);
+    w.begin_array();
+    w.value(0.5);
+    w.value(-3.0);
+    w.value(std::nan(""));
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(std::size_t{18446744073709551615ull});
+    w.end_array();
+  }
+  EXPECT_EQ(os.str(), "[0.5,-3,null,null,18446744073709551615]");
+}
+
+TEST(JsonWriter, PrettyPrintsNestedStructure) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);  // pretty
+    w.begin_object();
+    w.field("x", 1);
+    w.key("y");
+    w.begin_array();
+    w.value(2);
+    w.end_array();
+    w.end_object();
+  }
+  EXPECT_EQ(os.str(), "{\n  \"x\": 1,\n  \"y\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, false);
+    w.begin_object();
+    w.key("o");
+    w.begin_object();
+    w.end_object();
+    w.key("a");
+    w.begin_array();
+    w.end_array();
+    w.end_object();
+  }
+  EXPECT_EQ(os.str(), R"({"o":{},"a":[]})");
+}
+
+}  // namespace
+}  // namespace minpower

@@ -82,6 +82,39 @@ TEST(Simulate, ReconvergentXorGlitches) {
   EXPECT_GT(rep.glitch_factor, 1.02);
 }
 
+TEST(Simulate, OutOfOrderGateListMatchesTopologicalOrder) {
+  // The settle pass must not depend on the stored gate order: hand-build
+  // f = INV(NAND(a, b)) with the INV listed *before* its producer NAND and
+  // check the simulation matches the topologically-listed netlist. (Before
+  // gate evaluation was topologically ordered, the out-of-order list
+  // silently settled the INV on a stale input value.)
+  Network net("ooo");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId n1 = net.add_nand2(a, b);
+  const NodeId n2 = net.add_inv(n1);
+  net.add_po("f", n2);
+
+  const Library& lib = standard_library();
+  MappedNetwork sorted;
+  sorted.subject = &net;
+  sorted.lib = &lib;
+  sorted.gates.push_back(MappedGateInst{&lib.nand2(), n1, {a, b}});
+  sorted.gates.push_back(MappedGateInst{&lib.inverter(), n2, {n1}});
+  sorted.po_signal = {n2};
+
+  MappedNetwork shuffled = sorted;
+  std::swap(shuffled.gates[0], shuffled.gates[1]);
+
+  SimPowerParams sp;
+  sp.num_vector_pairs = 500;
+  const SimPowerReport x = simulate_power(sorted, sp);
+  const SimPowerReport y = simulate_power(shuffled, sp);
+  EXPECT_DOUBLE_EQ(x.power_uw, y.power_uw);
+  EXPECT_DOUBLE_EQ(x.avg_transitions, y.avg_transitions);
+  EXPECT_GT(x.power_uw, 0.0);
+}
+
 TEST(Simulate, MoreSamplesConverge) {
   Network raw = testing::random_network(21, 6, 12, 3);
   NetworkDecompOptions d;

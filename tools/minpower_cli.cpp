@@ -9,13 +9,16 @@
 //   minpower map    <in.blif> [-o mapped.blif] [-O power|area]
 //                   [--genlib lib.genlib] [--relax F] [--sim]
 //                                                  full flow + mapping report
-//   minpower flow   <in.blif> [--genlib lib.genlib]
+//   minpower flow   <in.blif> [--genlib lib.genlib] [--threads N]
+//                   [--json out.json]
 //                                                  run Methods I–VI, print table
+//                                                  (+ machine-readable JSON)
 //   minpower verify <a.blif> <b.blif>              combinational equivalence
 //   minpower bench  <name> [-o out.blif]           emit a suite circuit
 //
 // Every subcommand reads plain BLIF; `map -o` writes the SIS .gate dialect.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +30,7 @@
 #include "benchgen/benchgen.hpp"
 #include "decomp/network_decompose.hpp"
 #include "flow/flow.hpp"
+#include "flow/flow_engine.hpp"
 #include "io/blif.hpp"
 #include "io/mapped_blif.hpp"
 #include "map/mapper.hpp"
@@ -55,6 +59,8 @@ struct Args {
   bool resize = false;
   bool sequential = false;
   double relax = 1.15;
+  unsigned threads = 1;
+  std::optional<std::string> json;
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -71,6 +77,9 @@ Args parse_args(int argc, char** argv, int first) {
     else if (arg == "-O") a.objective = value("-O");
     else if (arg == "--style") a.style = value("--style");
     else if (arg == "--relax") a.relax = std::stod(value("--relax"));
+    else if (arg == "--threads")
+      a.threads = static_cast<unsigned>(std::stoul(value("--threads")));
+    else if (arg == "--json") a.json = value("--json");
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -225,11 +234,35 @@ int cmd_flow(const Args& a) {
   Network net = read_blif_file(a.positional.at(0));
   prepare_network(net);
   const Library lib = load_library(a);
-  std::printf("%-8s %8s %8s %10s %7s\n", "method", "area", "delay", "power",
-              "gates");
-  for (const FlowResult& r : run_all_methods(net, lib))
-    std::printf("%-8s %8.0f %8.2f %10.1f %7zu\n", method_name(r.method),
-                r.area, r.delay, r.power_uw, r.gates);
+
+  EngineOptions eo;
+  eo.num_threads = a.threads;
+  FlowEngine engine(lib, eo);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<FlowResult> rs = engine.run_circuit(net);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%-8s %8s %8s %10s %7s %9s %9s\n", "method", "area", "delay",
+              "power", "gates", "map_ms", "decomp_ms");
+  for (const FlowResult& r : rs)
+    std::printf("%-8s %8.0f %8.2f %10.1f %7zu %9.2f %9.2f\n",
+                method_name(r.method), r.area, r.delay, r.power_uw, r.gates,
+                r.phases.map_ms, r.phases.decomp_ms);
+  std::fprintf(stderr,
+               "engine: %d decompositions, %d activity passes, %d mappings, "
+               "%u thread(s), %.1f ms\n",
+               engine.counters().decomp_passes,
+               engine.counters().activity_passes, engine.counters().map_passes,
+               engine.effective_threads(), elapsed_ms);
+  if (a.json) {
+    std::ofstream out(*a.json);
+    MP_CHECK_MSG(out.good(), "cannot open JSON output file");
+    write_flow_json(out, {rs}, engine.counters(), engine.effective_threads(),
+                    elapsed_ms, lib.name());
+  }
   return 0;
 }
 
