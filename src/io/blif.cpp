@@ -7,60 +7,120 @@
 
 namespace minpower {
 
+std::string BlifError::to_string() const {
+  if (line <= 0) return message;
+  return "line " + std::to_string(line) + ": " + message;
+}
+
 namespace {
+
+/// OFF-set covers are realized through Cover::complement, whose Shannon
+/// expansion supports at most this many variables.
+constexpr std::size_t kMaxOffsetVars = 24;
 
 struct RawGate {
   std::vector<std::string> signals;  // inputs..., output
   std::vector<std::string> rows;     // cover rows "pattern value"
+  int line = 0;                      // physical line of the .names header
+  std::vector<int> row_lines;        // physical line per cover row
 };
 
-/// Read one logical BLIF line: strips comments, joins '\' continuations.
-bool next_logical_line(std::istream& in, std::string& out) {
-  out.clear();
-  std::string line;
-  while (std::getline(in, line)) {
-    if (const auto hash = line.find('#'); hash != std::string::npos)
-      line.erase(hash);
-    std::string_view t = trim(line);
-    const bool continued = !t.empty() && t.back() == '\\';
-    if (continued) t.remove_suffix(1);
-    if (!t.empty()) {
-      if (!out.empty()) out += ' ';
-      out += std::string(t);
-    }
-    if (!continued && !out.empty()) return true;
-    if (!continued && out.empty()) continue;
+bool fail(BlifError* error, int line, std::string message) {
+  if (error) {
+    error->line = line;
+    error->message = std::move(message);
   }
-  return !out.empty();
+  return false;
 }
 
-Cover cover_from_rows(const RawGate& g, std::size_t num_inputs) {
+/// Reads logical BLIF lines: strips comments, joins '\' continuations, and
+/// reports the physical line number where each logical line starts.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// False at end of input. A backslash continuation that runs into EOF is
+  /// reported through `truncated()` after the final next() returns.
+  bool next(std::string& out, int& start_line) {
+    out.clear();
+    start_line = 0;
+    std::string line;
+    bool continued = false;
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      if (const auto hash = line.find('#'); hash != std::string::npos)
+        line.erase(hash);
+      std::string_view t = trim(line);
+      continued = !t.empty() && t.back() == '\\';
+      if (continued) t = trim(t.substr(0, t.size() - 1));
+      if (!t.empty() || continued) {
+        if (start_line == 0) start_line = line_no_;
+        if (!out.empty() && !t.empty()) out += ' ';
+        out += std::string(t);
+      }
+      if (!continued && !out.empty()) return true;
+    }
+    if (continued) {  // sticky: a later (empty) next() must not clear it
+      truncated_ = true;
+      truncated_line_ = start_line;
+    }
+    return !out.empty();
+  }
+
+  bool truncated() const { return truncated_; }
+  int truncated_line() const { return truncated_line_; }
+
+ private:
+  std::istream& in_;
+  int line_no_ = 0;
+  bool truncated_ = false;
+  int truncated_line_ = 0;
+};
+
+bool cover_from_rows(const RawGate& g, std::size_t num_inputs, Cover& out,
+                     BlifError* error) {
   // Determine polarity from the output column (all rows must agree; SIS
   // enforces the same restriction).
   bool has_on = false;
   bool has_off = false;
-  for (const std::string& row : g.rows) {
-    const auto fields = split_ws(row);
-    MP_CHECK_MSG(!fields.empty(), "empty BLIF cover row");
+  for (std::size_t r = 0; r < g.rows.size(); ++r) {
+    const auto fields = split_ws(g.rows[r]);
+    if (fields.empty())
+      return fail(error, g.row_lines[r], "empty BLIF cover row");
     const std::string_view value = fields.back();
     if (value == "1") has_on = true;
     else if (value == "0") has_off = true;
-    else MP_CHECK_MSG(false, "BLIF cover output column must be 0 or 1");
+    else
+      return fail(error, g.row_lines[r],
+                  "BLIF cover output column must be 0 or 1");
   }
-  MP_CHECK_MSG(!(has_on && has_off),
-               "BLIF cover mixes ON-set and OFF-set rows");
+  if (has_on && has_off)
+    return fail(error, g.line, "BLIF cover mixes ON-set and OFF-set rows");
+  if (has_off && num_inputs > kMaxOffsetVars)
+    return fail(error, g.line,
+                "BLIF OFF-set cover over " + std::to_string(num_inputs) +
+                    " inputs exceeds the " + std::to_string(kMaxOffsetVars) +
+                    "-variable complement limit");
 
   Cover cover;
-  for (const std::string& row : g.rows) {
-    const auto fields = split_ws(row);
+  for (std::size_t r = 0; r < g.rows.size(); ++r) {
+    const auto fields = split_ws(g.rows[r]);
+    const int row_line = g.row_lines[r];
     std::string_view pattern;
     if (num_inputs == 0) {
-      MP_CHECK(fields.size() == 1);
+      if (fields.size() != 1)
+        return fail(error, row_line,
+                    "BLIF cover row of a 0-input .names takes only the "
+                    "output value");
     } else {
-      MP_CHECK_MSG(fields.size() == 2, "BLIF cover row needs pattern + value");
+      if (fields.size() != 2)
+        return fail(error, row_line, "BLIF cover row needs pattern + value");
       pattern = fields[0];
-      MP_CHECK_MSG(pattern.size() == num_inputs,
-                   "BLIF cover row width mismatch");
+      if (pattern.size() != num_inputs)
+        return fail(error, row_line,
+                    "BLIF cover row width mismatch: " +
+                        std::to_string(pattern.size()) + " literals for " +
+                        std::to_string(num_inputs) + " inputs");
     }
     std::uint64_t pos = 0;
     std::uint64_t neg = 0;
@@ -68,27 +128,30 @@ Cover cover_from_rows(const RawGate& g, std::size_t num_inputs) {
       const char ch = pattern[i];
       if (ch == '1') pos |= std::uint64_t{1} << i;
       else if (ch == '0') neg |= std::uint64_t{1} << i;
-      else MP_CHECK_MSG(ch == '-', "BLIF cover literal must be 0/1/-");
+      else if (ch != '-')
+        return fail(error, row_line, "BLIF cover literal must be 0/1/-");
     }
     cover.add(Cube{pos, neg});
   }
   cover.normalize();
   if (has_off) cover = cover.complement();
-  return cover;
+  out = std::move(cover);
+  return true;
 }
 
-}  // namespace
-
-Network read_blif(std::istream& in) {
-  Network net;
+bool parse_blif(std::istream& in, Network& net, BlifError* error) {
   std::vector<std::string> input_names;
+  std::vector<int> input_lines;
   std::vector<std::string> output_names;
   std::vector<RawGate> gates;
   std::vector<std::pair<std::string, std::string>> latches;  // in, out
   RawGate* current = nullptr;
 
+  LineReader reader(in);
   std::string line;
-  while (next_logical_line(in, line)) {
+  int line_no = 0;
+  bool saw_end = false;
+  while (!saw_end && reader.next(line, line_no)) {
     const auto fields = split_ws(line);
     if (fields.empty()) continue;
     const std::string_view head = fields[0];
@@ -96,8 +159,10 @@ Network read_blif(std::istream& in) {
       if (fields.size() > 1) net.set_name(std::string(fields[1]));
       current = nullptr;
     } else if (head == ".inputs") {
-      for (std::size_t i = 1; i < fields.size(); ++i)
+      for (std::size_t i = 1; i < fields.size(); ++i) {
         input_names.emplace_back(fields[i]);
+        input_lines.push_back(line_no);
+      }
       current = nullptr;
     } else if (head == ".outputs") {
       for (std::size_t i = 1; i < fields.size(); ++i)
@@ -107,26 +172,44 @@ Network read_blif(std::istream& in) {
       RawGate g;
       for (std::size_t i = 1; i < fields.size(); ++i)
         g.signals.emplace_back(fields[i]);
-      MP_CHECK_MSG(!g.signals.empty(), ".names needs at least an output");
+      if (g.signals.empty())
+        return fail(error, line_no, ".names needs at least an output");
+      if (g.signals.size() - 1 > static_cast<std::size_t>(kMaxCubeVars))
+        return fail(error, line_no,
+                    ".names has " + std::to_string(g.signals.size() - 1) +
+                        " inputs; at most " + std::to_string(kMaxCubeVars) +
+                        " are supported");
+      g.line = line_no;
       gates.push_back(std::move(g));
       current = &gates.back();
     } else if (head == ".latch") {
-      MP_CHECK_MSG(fields.size() >= 3, ".latch needs input and output");
+      if (fields.size() < 3)
+        return fail(error, line_no, ".latch needs input and output");
       latches.emplace_back(std::string(fields[1]), std::string(fields[2]));
       current = nullptr;
     } else if (head == ".end") {
-      break;
+      saw_end = true;  // missing .end is tolerated: EOF also ends the model
     } else if (head[0] == '.') {
       // Ignore unsupported directives (.default_input_arrival etc.).
       current = nullptr;
     } else {
-      MP_CHECK_MSG(current != nullptr, "BLIF cover row outside .names");
+      if (current == nullptr)
+        return fail(error, line_no, "BLIF cover row outside .names");
       current->rows.push_back(line);
+      current->row_lines.push_back(line_no);
     }
   }
+  if (reader.truncated())
+    return fail(error, reader.truncated_line(),
+                "backslash continuation runs into end of file");
 
   // Create PIs (declared inputs + latch outputs).
-  for (const std::string& name : input_names) net.add_pi(name);
+  for (std::size_t i = 0; i < input_names.size(); ++i) {
+    if (net.find(input_names[i]) != kNoNode)
+      return fail(error, input_lines[i],
+                  "BLIF input declared twice: " + input_names[i]);
+    net.add_pi(input_names[i]);
+  }
   for (const auto& [li, lo] : latches)
     if (net.find(lo) == kNoNode) net.add_pi(lo);
 
@@ -145,9 +228,10 @@ Network read_blif(std::istream& in) {
       if (!ready) continue;
 
       const std::string& out_name = g.signals.back();
-      MP_CHECK_MSG(net.find(out_name) == kNoNode,
-                   ("BLIF signal driven twice: " + out_name).c_str());
-      Cover cover = cover_from_rows(g, num_inputs);
+      if (net.find(out_name) != kNoNode)
+        return fail(error, g.line, "BLIF signal driven twice: " + out_name);
+      Cover cover;
+      if (!cover_from_rows(g, num_inputs, cover, error)) return false;
       if (num_inputs == 0 || cover.is_zero() || cover.is_one()) {
         net.add_constant(cover.is_one(), out_name);
       } else {
@@ -163,25 +247,57 @@ Network read_blif(std::istream& in) {
       --remaining;
       progress = true;
     }
-    MP_CHECK_MSG(progress, "BLIF gates form a cycle or use undefined signals");
+    if (!progress) {
+      // Report the first stuck gate: its line pinpoints the cycle/typo.
+      for (std::size_t gi = 0; gi < gates.size(); ++gi)
+        if (!placed[gi])
+          return fail(error, gates[gi].line,
+                      "BLIF gates form a cycle or use undefined signals "
+                      "(first stuck output: " + gates[gi].signals.back() +
+                          ")");
+      return fail(error, 0,
+                  "BLIF gates form a cycle or use undefined signals");
+    }
   }
 
   for (const std::string& name : output_names) {
     const NodeId driver = net.find(name);
-    MP_CHECK_MSG(driver != kNoNode,
-                 ("BLIF output is undriven: " + name).c_str());
+    if (driver == kNoNode)
+      return fail(error, 0, "BLIF output is undriven: " + name);
     net.add_po(name, driver);
   }
   for (const auto& [li, lo] : latches) {
     const NodeId driver = net.find(li);
-    MP_CHECK_MSG(driver != kNoNode,
-                 ("BLIF latch input is undriven: " + li).c_str());
+    if (driver == kNoNode)
+      return fail(error, 0, "BLIF latch input is undriven: " + li);
     // Pseudo-PO named after the latch *output*: "<state>__next" is the next
     // value of pseudo-PI <state>, which is what sequential analysis pairs.
     net.add_po(lo + "__next", driver);
   }
   net.check();
+  return true;
+}
+
+}  // namespace
+
+std::optional<Network> try_read_blif(std::istream& in, BlifError* error) {
+  Network net;
+  if (!parse_blif(in, net, error)) return std::nullopt;
   return net;
+}
+
+std::optional<Network> try_read_blif_string(const std::string& text,
+                                            BlifError* error) {
+  std::istringstream in(text);
+  return try_read_blif(in, error);
+}
+
+Network read_blif(std::istream& in) {
+  BlifError error;
+  std::optional<Network> net = try_read_blif(in, &error);
+  MP_CHECK_MSG(net.has_value(),
+               ("BLIF parse error: " + error.to_string()).c_str());
+  return std::move(*net);
 }
 
 Network read_blif_string(const std::string& text) {

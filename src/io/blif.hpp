@@ -9,6 +9,7 @@
 // benchmarks, which is how the paper evaluates ISCAS-89 circuits).
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 
@@ -16,7 +17,31 @@
 
 namespace minpower {
 
-/// Parse a BLIF model. Aborts with a diagnostic on malformed input.
+/// Diagnostic for a malformed BLIF model. `line` is the 1-based physical
+/// line where the problem was detected (the first line of a continued
+/// logical line; 0 for model-level problems like an undriven output).
+struct BlifError {
+  std::string message;
+  int line = 0;
+
+  /// "line 12: BLIF cover row width mismatch" (or just the message when no
+  /// line applies).
+  std::string to_string() const;
+};
+
+/// Parse a BLIF model, reporting malformed input as a structured error
+/// instead of aborting: returns std::nullopt and fills `error` (when
+/// non-null) on any syntax or structural problem — truncated/empty .names,
+/// rows outside .names, width or polarity violations, oversized cube lines,
+/// duplicate or twice-driven signals, cycles, undriven outputs. A missing
+/// .end is tolerated (EOF ends the model), matching common BLIF emitters.
+std::optional<Network> try_read_blif(std::istream& in,
+                                     BlifError* error = nullptr);
+std::optional<Network> try_read_blif_string(const std::string& text,
+                                            BlifError* error = nullptr);
+
+/// Parse a BLIF model. Aborts with a diagnostic on malformed input
+/// (try_read_blif with the error turned into an MP_CHECK failure).
 Network read_blif(std::istream& in);
 Network read_blif_string(const std::string& text);
 Network read_blif_file(const std::string& path);

@@ -1,0 +1,249 @@
+#pragma once
+// Minimal JSON parser for validating the tool's own machine-readable output
+// (the minpower.flow.v1 / minpower.verify.v1 reports) in tests. Supports the
+// full JSON value grammar the JsonWriter can emit: objects, arrays, strings
+// with escapes, numbers, booleans, null. Not a general-purpose parser — no
+// \uXXXX surrogate handling beyond pass-through, and practical depth/size
+// limits — but strict about everything it does accept.
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace minpower {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                             // arrays
+  std::vector<std::pair<std::string, JsonValue>> members;   // objects, ordered
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  const char* kind_name() const {
+    switch (kind) {
+      case Kind::kNull: return "null";
+      case Kind::kBool: return "bool";
+      case Kind::kNumber: return "number";
+      case Kind::kString: return "string";
+      case Kind::kArray: return "array";
+      case Kind::kObject: return "object";
+    }
+    return "?";
+  }
+};
+
+namespace json_detail {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue v;
+    if (!parse_value(v, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      set_error("trailing content after the JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool set_error(const std::string& message) {
+    if (error_ && error_->empty())
+      *error_ = message + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char ch, const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != ch)
+      return set_error(std::string("expected ") + what);
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return set_error("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "'\"'")) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return true;
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+              return set_error("truncated \\u escape");
+            out += "\\u";  // pass through, enough for schema checks
+            out += std::string(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return set_error("invalid escape character");
+        }
+      } else {
+        out += ch;
+      }
+    }
+    return set_error("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return set_error("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return set_error("unexpected end of input");
+    const char ch = text_[pos_];
+    if (ch == '{') return parse_object(out, depth);
+    if (ch == '[') return parse_array(out, depth);
+    if (ch == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (ch == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (ch == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (ch == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    return parse_number(out);
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return set_error("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size())
+      return set_error("malformed number");
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return set_error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return set_error("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':', "':'")) return false;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return set_error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return set_error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace json_detail
+
+/// Parse a complete JSON document. Returns std::nullopt and fills `error`
+/// (when non-null) on malformed input.
+inline std::optional<JsonValue> parse_json(std::string_view text,
+                                           std::string* error = nullptr) {
+  return json_detail::Parser(text, error).run();
+}
+
+}  // namespace minpower

@@ -207,6 +207,51 @@ TEST(MappedBlif, RoundTripPreservesScoring) {
   EXPECT_NEAR(a.power_uw, b.power_uw, 1e-6);
 }
 
+TEST(MappedBlif, RoundTripPreservesStructure) {
+  // Beyond function/scoring equality: the re-read netlist must have the
+  // identical gate list, pin bindings, and topology. Node ids differ between
+  // the original subject and the reader's rebuilt one, so signals are
+  // compared by name (the writer names every signal after its subject node).
+  for (std::uint64_t seed = 60; seed < 64; ++seed) {
+    Network subject;
+    const MappedNetwork mn = map_random(seed, subject);
+    if (mn.gates.empty()) continue;
+    const ParsedMappedNetwork back = read_mapped_blif_string(
+        write_mapped_blif_string(mn), standard_library());
+
+    ASSERT_EQ(back.mapped.gates.size(), mn.gates.size()) << seed;
+    for (std::size_t g = 0; g < mn.gates.size(); ++g) {
+      const MappedGateInst& a = mn.gates[g];
+      const MappedGateInst& b = back.mapped.gates[g];
+      EXPECT_EQ(a.gate->name, b.gate->name) << "gate " << g << " seed " << seed;
+      ASSERT_EQ(a.pin_nodes.size(), b.pin_nodes.size()) << "gate " << g;
+      for (std::size_t p = 0; p < a.pin_nodes.size(); ++p)
+        EXPECT_EQ(subject.node(a.pin_nodes[p]).name,
+                  back.subject->node(b.pin_nodes[p]).name)
+            << "gate " << g << " pin " << p << " seed " << seed;
+      EXPECT_EQ(subject.node(a.root).name,
+                back.subject->node(b.root).name)
+          << "gate " << g << " seed " << seed;
+      // Topology: every pin signal must already be driven (PI, constant, or
+      // an earlier gate's root) in both netlists — same driver index.
+      for (std::size_t p = 0; p < a.pin_nodes.size(); ++p)
+        EXPECT_EQ(mn.driver_of(a.pin_nodes[p]),
+                  back.mapped.driver_of(b.pin_nodes[p]))
+            << "gate " << g << " pin " << p;
+    }
+
+    ASSERT_EQ(back.mapped.po_signal.size(), mn.po_signal.size());
+    for (std::size_t j = 0; j < mn.po_signal.size(); ++j)
+      EXPECT_EQ(subject.node(mn.po_signal[j]).name,
+                back.subject->node(back.mapped.po_signal[j]).name)
+          << "po " << j << " seed " << seed;
+    ASSERT_EQ(back.subject->pis().size(), subject.pis().size());
+    for (std::size_t i = 0; i < subject.pis().size(); ++i)
+      EXPECT_EQ(subject.node(subject.pis()[i]).name,
+                back.subject->node(back.subject->pis()[i]).name);
+  }
+}
+
 TEST(MappedBlif, ReadRejectsUnknownCell) {
   const std::string text =
       ".model m\n.inputs a\n.outputs f\n.gate nosuchcell a=a O=f\n.end\n";

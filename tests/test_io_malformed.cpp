@@ -1,0 +1,294 @@
+// Malformed-BLIF corpus: every entry must produce a structured BlifError
+// (no crash, no abort) from try_read_blif, with the message and line the
+// parser promises. read_blif keeps its abort-with-diagnostic contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/blif.hpp"
+
+namespace minpower {
+namespace {
+
+BlifError expect_error(const std::string& text) {
+  BlifError error;
+  const auto net = try_read_blif_string(text, &error);
+  EXPECT_FALSE(net.has_value()) << "parser accepted malformed input:\n"
+                                << text;
+  return error;
+}
+
+TEST(BlifMalformed, TruncatedNamesHeader) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".names\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find(".names needs at least an output"),
+            std::string::npos);
+  EXPECT_EQ(e.line, 4);
+}
+
+TEST(BlifMalformed, CoverRowOutsideNames) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      "11 1\n");
+  EXPECT_NE(e.message.find("outside .names"), std::string::npos);
+  EXPECT_EQ(e.line, 4);
+}
+
+TEST(BlifMalformed, RowWidthMismatch) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "101 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("width mismatch"), std::string::npos);
+  EXPECT_EQ(e.line, 5);
+}
+
+TEST(BlifMalformed, RowMissingOutputValue) {
+  // "11" alone: the last field is read as the output column, so the polarity
+  // check is what rejects it.
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "11\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("output column must be 0 or 1"), std::string::npos);
+  EXPECT_EQ(e.line, 5);
+}
+
+TEST(BlifMalformed, RowWithExtraFields) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "1 1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("pattern + value"), std::string::npos);
+  EXPECT_EQ(e.line, 5);
+}
+
+TEST(BlifMalformed, BadCoverLiteral) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "1x 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("must be 0/1/-"), std::string::npos);
+}
+
+TEST(BlifMalformed, BadOutputColumn) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".names a y\n"
+      "1 2\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("output column must be 0 or 1"), std::string::npos);
+}
+
+TEST(BlifMalformed, MixedOnAndOffSet) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "11 1\n"
+      "00 0\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("mixes ON-set and OFF-set"), std::string::npos);
+}
+
+TEST(BlifMalformed, SignalDrivenTwice) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a y\n"
+      "1 1\n"
+      ".names b y\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("driven twice: y"), std::string::npos);
+  EXPECT_EQ(e.line, 6);
+}
+
+TEST(BlifMalformed, DuplicateInputDeclaration) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a a\n"
+      ".outputs y\n"
+      ".names a y\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("input declared twice: a"), std::string::npos);
+}
+
+TEST(BlifMalformed, UndrivenOutput) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y z\n"
+      ".names a y\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("output is undriven: z"), std::string::npos);
+}
+
+TEST(BlifMalformed, CombinationalCycle) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".names a y2 y\n"
+      "11 1\n"
+      ".names y y2\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("cycle"), std::string::npos);
+  EXPECT_EQ(e.line, 4);  // first stuck gate
+}
+
+TEST(BlifMalformed, UndefinedFaninSignal) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".names a ghost y\n"
+      "11 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("undefined signals"), std::string::npos);
+  EXPECT_NE(e.message.find("first stuck output: y"), std::string::npos);
+}
+
+TEST(BlifMalformed, LatchMissingOutput) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".latch a\n"
+      ".names a y\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find(".latch needs input and output"),
+            std::string::npos);
+}
+
+TEST(BlifMalformed, UndrivenLatchInput) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".latch ghost s\n"
+      ".names a y\n"
+      "1 1\n"
+      ".end\n");
+  EXPECT_NE(e.message.find("latch input is undriven: ghost"),
+            std::string::npos);
+}
+
+TEST(BlifMalformed, OversizedCubeLine) {
+  // 80-input .names: pattern bits would overflow the 64-variable Cube.
+  std::string text = ".model t\n.inputs";
+  std::string names = ".names";
+  std::string row;
+  for (int i = 0; i < 80; ++i) {
+    text += " i" + std::to_string(i);
+    names += " i" + std::to_string(i);
+    row += '1';
+  }
+  text += "\n.outputs y\n" + names + " y\n" + row + " 1\n.end\n";
+  const BlifError e = expect_error(text);
+  EXPECT_NE(e.message.find("at most 64"), std::string::npos);
+}
+
+TEST(BlifMalformed, OffSetCoverTooWide) {
+  // A 30-input OFF-set cover would abort inside Cover::complement; the
+  // parser must reject it up front.
+  std::string text = ".model t\n.inputs";
+  std::string names = ".names";
+  std::string row;
+  for (int i = 0; i < 30; ++i) {
+    text += " i" + std::to_string(i);
+    names += " i" + std::to_string(i);
+    row += '1';
+  }
+  text += "\n.outputs y\n" + names + " y\n" + row + " 0\n.end\n";
+  const BlifError e = expect_error(text);
+  EXPECT_NE(e.message.find("complement limit"), std::string::npos);
+}
+
+TEST(BlifMalformed, TruncatedContinuation) {
+  const BlifError e = expect_error(
+      ".model t\n"
+      ".inputs a b\n"
+      ".outputs y\n"
+      ".names a b \\");  // EOF inside the continuation
+  EXPECT_NE(e.message.find("continuation runs into end of file"),
+            std::string::npos);
+  EXPECT_EQ(e.line, 4);
+}
+
+TEST(BlifMalformed, ErrorToStringIncludesLine) {
+  BlifError e;
+  e.message = "boom";
+  e.line = 7;
+  EXPECT_EQ(e.to_string(), "line 7: boom");
+  e.line = 0;
+  EXPECT_EQ(e.to_string(), "boom");
+}
+
+// ---- well-formed edge cases that must keep parsing ------------------------
+
+TEST(BlifMalformed, MissingEndIsTolerated) {
+  const auto net = try_read_blif_string(
+      ".model t\n"
+      ".inputs a\n"
+      ".outputs y\n"
+      ".names a y\n"
+      "1 1\n");  // no .end
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->pis().size(), 1u);
+  EXPECT_EQ(net->pos().size(), 1u);
+}
+
+TEST(BlifMalformed, ContinuationAndCommentsStillWork) {
+  const auto net = try_read_blif_string(
+      ".model t  # model header\n"
+      ".inputs a \\\n"
+      "        b\n"
+      ".outputs y\n"
+      ".names a b y   # and gate\n"
+      "11 1\n"
+      ".end\n");
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->pis().size(), 2u);
+}
+
+TEST(BlifMalformed, NullErrorPointerIsSafe) {
+  EXPECT_FALSE(try_read_blif_string(".names\n").has_value());
+}
+
+TEST(BlifMalformed, ReadBlifStillAbortsWithDiagnostic) {
+  EXPECT_DEATH(read_blif_string(".model t\n.inputs a\n.outputs y\n"
+                                ".names a y\n1 1\n.names a y\n1 1\n.end\n"),
+               "driven twice");
+}
+
+}  // namespace
+}  // namespace minpower

@@ -13,6 +13,9 @@
 //                   [--json out.json]
 //                                                  run Methods I–VI, print table
 //                                                  (+ machine-readable JSON)
+//   minpower verify [--seed N] [--count N] [--json out.json]
+//                                                  differential verification
+//                                                  harness (seeded oracles)
 //   minpower verify <a.blif> <b.blif>              combinational equivalence
 //   minpower bench  <name> [-o out.blif]           emit a suite circuit
 //
@@ -41,6 +44,7 @@
 #include "prob/sequential.hpp"
 #include "sop/factor.hpp"
 #include "util/strings.hpp"
+#include "verify/verify.hpp"
 
 using namespace minpower;
 
@@ -61,6 +65,8 @@ struct Args {
   double relax = 1.15;
   unsigned threads = 1;
   std::optional<std::string> json;
+  std::uint64_t seed = 1;
+  int count = 200;
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -80,6 +86,8 @@ Args parse_args(int argc, char** argv, int first) {
     else if (arg == "--threads")
       a.threads = static_cast<unsigned>(std::stoul(value("--threads")));
     else if (arg == "--json") a.json = value("--json");
+    else if (arg == "--seed") a.seed = std::stoull(value("--seed"));
+    else if (arg == "--count") a.count = std::stoi(value("--count"));
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -267,11 +275,44 @@ int cmd_flow(const Args& a) {
 }
 
 int cmd_verify(const Args& a) {
-  const Network x = read_blif_file(a.positional.at(0));
-  const Network y = read_blif_file(a.positional.at(1));
-  const bool eq = networks_equivalent(x, y);
-  std::printf("%s\n", eq ? "EQUIVALENT" : "NOT EQUIVALENT");
-  return eq ? 0 : 1;
+  // Two positional files: classic pairwise combinational equivalence.
+  if (a.positional.size() == 2) {
+    const Network x = read_blif_file(a.positional.at(0));
+    const Network y = read_blif_file(a.positional.at(1));
+    const bool eq = networks_equivalent(x, y);
+    std::printf("%s\n", eq ? "EQUIVALENT" : "NOT EQUIVALENT");
+    return eq ? 0 : 1;
+  }
+  MP_CHECK_MSG(a.positional.empty(),
+               "verify takes either two BLIF files or no positional args");
+
+  // No files: the seeded differential harness (DESIGN.md §8).
+  verify::VerifyOptions o;
+  o.seed = a.seed;
+  o.count = a.count;
+  const verify::VerifyReport r = verify::run_verification(o);
+  std::printf(
+      "verified %d circuits: %d equivalence, %d activity, %d monte-carlo, "
+      "%d tree, %d curve checks\n",
+      r.circuits, r.equivalence_checks, r.activity_checks,
+      r.monte_carlo_checks, r.tree_checks, r.curve_checks);
+  if (r.modified_huffman_total > 0)
+    std::printf("modified-huffman hit the brute-force optimum in %d/%d "
+                "static instances\n",
+                r.modified_huffman_optimal, r.modified_huffman_total);
+  for (const verify::VerifyFailure& f : r.failures)
+    std::fprintf(stderr,
+                 "FAIL [%s] %s\n  reproduce: minpower verify --seed %llu "
+                 "--count 1\n",
+                 f.check.c_str(), f.detail.c_str(),
+                 static_cast<unsigned long long>(f.seed));
+  if (a.json) {
+    std::ofstream out(*a.json);
+    MP_CHECK_MSG(out.good(), "cannot open JSON output file");
+    verify::write_verify_json(out, o, r);
+  }
+  std::printf("%s\n", r.ok() ? "OK" : "FAILED");
+  return r.ok() ? 0 : 1;
 }
 
 int cmd_bench(const Args& a) {
