@@ -1,10 +1,15 @@
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace minpower {
 
 BddManager::BddManager(std::size_t node_limit) : node_limit_(node_limit) {
+  if (const Budget* b = Budget::current()) {
+    node_limit_ = std::min(node_limit_, b->bdd_node_limit);
+    if (b->injected("bdd-limit")) node_limit_ = kInjectedBddNodeLimit;
+  }
   nodes_.push_back(BddNode{kLeafVar, kFalse, kFalse});  // 0 = false
   nodes_.push_back(BddNode{kLeafVar, kTrue, kTrue});    // 1 = true
 }
@@ -23,7 +28,14 @@ BddRef BddManager::make(int var, BddRef lo, BddRef hi) {
   const UniqueKey key{var, lo, hi};
   const auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
-  MP_CHECK_MSG(nodes_.size() < node_limit_, "BDD node limit exceeded");
+  if (nodes_.size() >= node_limit_) {
+    const Budget* b = Budget::current();
+    throw ResourceExhausted(
+        "bdd-limit",
+        "BDD node limit exceeded: " + std::to_string(nodes_.size()) +
+            " nodes (limit " + std::to_string(node_limit_) + ") in phase " +
+            (b && !b->label.empty() ? b->label : std::string("<unbudgeted>")));
+  }
   const BddRef id = static_cast<BddRef>(nodes_.size());
   nodes_.push_back(BddNode{var, lo, hi});
   unique_.emplace(key, id);

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/check.hpp"
 
 namespace minpower {
@@ -21,9 +22,13 @@ using BddRef = std::uint32_t;
 
 class BddManager {
  public:
-  /// `node_limit` bounds total allocated BDD nodes; exceeding it aborts
-  /// (synthesis-sized circuits stay far below the default).
-  explicit BddManager(std::size_t node_limit = 60'000'000);
+  /// `node_limit` bounds total allocated BDD nodes; exceeding it throws
+  /// ResourceExhausted (site "bdd-limit") with the current node count and
+  /// the owning phase — a recoverable failure, not an abort. When a Budget
+  /// is current on the constructing thread, its (possibly smaller)
+  /// `bdd_node_limit` applies instead, and a "bdd-limit" fault injection
+  /// armed on that budget forces a tiny cap so the limit machinery fires.
+  explicit BddManager(std::size_t node_limit = kDefaultBddNodeLimit);
 
   static constexpr BddRef kFalse = 0;
   static constexpr BddRef kTrue = 1;

@@ -4,6 +4,9 @@
 #include <limits>
 #include <queue>
 #include <set>
+#include <string>
+
+#include "util/budget.hpp"
 
 namespace minpower {
 
@@ -150,8 +153,10 @@ void exhaustive_rec(DecompTree& t, std::vector<int>& active,
 DecompTree best_tree_exhaustive(const std::vector<double>& leaf_probs,
                                 const DecompModel& model) {
   MP_CHECK(!leaf_probs.empty());
-  MP_CHECK_MSG(leaf_probs.size() <= 9,
-               "exhaustive tree search limited to 9 leaves");
+  if (leaf_probs.size() > 9)
+    throw ResourceExhausted(
+        "exhaustive-tree", "exhaustive tree search limited to 9 leaves (got " +
+                               std::to_string(leaf_probs.size()) + ")");
   DecompTree scratch = init_leaves(leaf_probs);
   if (scratch.num_leaves == 1) {
     scratch.root = 0;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "util/budget.hpp"
+
 namespace minpower {
 
 namespace {
@@ -144,6 +146,10 @@ NetworkDecompResult decompose_network(const Network& net,
     prob.resize(net.capacity(), 0.0);
     for (std::size_t i = 0; i < transitions.size(); ++i)
       prob[i] = transitions[i].p1;
+  } else if (!options.node_prob.empty()) {
+    MP_CHECK_MSG(options.node_prob.size() == net.capacity(),
+                 "node_prob must cover the network capacity");
+    prob = options.node_prob;
   } else {
     prob = signal_probabilities(net, options.pi_prob1);
   }
@@ -155,6 +161,7 @@ NetworkDecompResult decompose_network(const Network& net,
   for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
     const Node& n = net.node(id);
     if (!n.is_internal()) continue;
+    budget_checkpoint("decomp");
     NodePlanState st;
     if (options.correlations != nullptr &&
         options.algorithm == DecompAlgorithm::kMinPower) {
@@ -202,6 +209,7 @@ NetworkDecompResult decompose_network(const Network& net,
     }
 
     for (;;) {
+      budget_checkpoint("decomp");
       const Timing t =
           compute_timing(net, plans, options.pi_arrival, po_required);
       // Most negative slack among nodes not yet redecomposed and with

@@ -52,6 +52,14 @@ struct NetworkDecompOptions {
   /// Eq. 3 temporal-independence collapse and nodes are decomposed with the
   /// full Eq. 10/11 merge. Mutually exclusive with `correlations`.
   std::vector<PiTemporalModel> temporal;
+
+  /// Precomputed per-node 1-probabilities (indexed by NodeId up to
+  /// Network::capacity()): when non-empty, the internal BDD probability
+  /// pass is skipped entirely. This is the degradation hook — the engine
+  /// re-runs a decomposition whose exact pass blew its BDD budget with
+  /// Monte-Carlo probabilities instead. Ignored when `correlations` or
+  /// `temporal` drive the probabilities.
+  std::vector<double> node_prob;
 };
 
 struct NetworkDecompResult {

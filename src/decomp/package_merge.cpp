@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <string>
+
+#include "util/budget.hpp"
 
 namespace minpower {
 
@@ -168,13 +171,23 @@ DecompTree bounded_greedy_once(const std::vector<double>& leaf_probs,
   return t;
 }
 
+/// Per-thread count of exact bounded-height searches that overran their
+/// step cap and fell back to the greedy ladder (see package_merge.hpp).
+std::size_t& exact_fallback_slot() {
+  thread_local std::size_t count = 0;
+  return count;
+}
+
 /// Exact branch-and-bound over merge orders with a height cap; exponential,
-/// used only for small n where it is instantaneous.
+/// used only for small n where it is instantaneous. `steps` counts explored
+/// merge candidates; exceeding `step_cap` throws ResourceExhausted so the
+/// caller can fall back to the heuristic ladder.
 void bounded_exhaustive_rec(DecompTree& t, std::vector<int>& active,
                             int max_height, const DecompModel& model,
                             double acc, double& best_cost,
                             std::vector<std::pair<int, int>>& merges,
-                            std::vector<std::pair<int, int>>& best_merges) {
+                            std::vector<std::pair<int, int>>& best_merges,
+                            std::size_t& steps, std::size_t step_cap) {
   if (active.size() == 1) {
     if (acc < best_cost) {
       best_cost = acc;
@@ -184,6 +197,10 @@ void bounded_exhaustive_rec(DecompTree& t, std::vector<int>& active,
   }
   for (std::size_t i = 0; i < active.size(); ++i) {
     for (std::size_t j = i + 1; j < active.size(); ++j) {
+      if (++steps > step_cap)
+        throw ResourceExhausted(
+            "exact-overrun", "exact bounded-height search exceeded " +
+                                 std::to_string(step_cap) + " steps");
       const int a = active[i];
       const int b = active[j];
       const auto& na = t.nodes[static_cast<std::size_t>(a)];
@@ -213,7 +230,7 @@ void bounded_exhaustive_rec(DecompTree& t, std::vector<int>& active,
       next.push_back(static_cast<int>(t.nodes.size()) - 1);
       merges.emplace_back(a, b);
       bounded_exhaustive_rec(t, next, max_height, model, cost, best_cost,
-                             merges, best_merges);
+                             merges, best_merges, steps, step_cap);
       merges.pop_back();
       t.nodes.pop_back();
     }
@@ -233,37 +250,49 @@ DecompTree bounded_height_minpower_tree(const std::vector<double>& leaf_probs,
 
   if (n <= 6) {
     // Small fanins (the common case after technology-independent
-    // optimization): solve exactly.
-    DecompTree t;
-    t.num_leaves = n;
-    std::vector<int> active;
-    for (int i = 0; i < n; ++i) {
-      DecompTree::TNode leaf;
-      leaf.leaf = i;
-      leaf.prob = leaf_probs[static_cast<std::size_t>(i)];
-      t.nodes.push_back(leaf);
-      active.push_back(i);
+    // optimization): solve exactly. The search is step-capped; an overrun
+    // (or an "exact-overrun" fault injection) falls back to the heuristic
+    // ladder below instead of aborting.
+    std::size_t step_cap = std::size_t{1} << 20;
+    if (const Budget* b = Budget::current(); b && b->injected("exact-overrun"))
+      step_cap = 0;
+    try {
+      DecompTree t;
+      t.num_leaves = n;
+      std::vector<int> active;
+      for (int i = 0; i < n; ++i) {
+        DecompTree::TNode leaf;
+        leaf.leaf = i;
+        leaf.prob = leaf_probs[static_cast<std::size_t>(i)];
+        t.nodes.push_back(leaf);
+        active.push_back(i);
+      }
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::vector<std::pair<int, int>> merges;
+      std::vector<std::pair<int, int>> best_merges;
+      std::size_t steps = 0;
+      bounded_exhaustive_rec(t, active, max_height, model, 0.0, best_cost,
+                             merges, best_merges, steps, step_cap);
+      MP_CHECK(!best_merges.empty());
+      t.nodes.resize(static_cast<std::size_t>(n));
+      for (const auto& [a, b] : best_merges) {
+        DecompTree::TNode parent;
+        parent.left = a;
+        parent.right = b;
+        parent.prob =
+            model.merge_prob(t.nodes[static_cast<std::size_t>(a)].prob,
+                             t.nodes[static_cast<std::size_t>(b)].prob);
+        parent.height =
+            1 + std::max(t.nodes[static_cast<std::size_t>(a)].height,
+                         t.nodes[static_cast<std::size_t>(b)].height);
+        t.nodes.push_back(parent);
+      }
+      t.root = static_cast<int>(t.nodes.size()) - 1;
+      MP_CHECK(t.height() <= max_height);
+      return t;
+    } catch (const ResourceExhausted&) {
+      ++exact_fallback_slot();
     }
-    double best_cost = std::numeric_limits<double>::infinity();
-    std::vector<std::pair<int, int>> merges;
-    std::vector<std::pair<int, int>> best_merges;
-    bounded_exhaustive_rec(t, active, max_height, model, 0.0, best_cost,
-                           merges, best_merges);
-    MP_CHECK(!best_merges.empty());
-    t.nodes.resize(static_cast<std::size_t>(n));
-    for (const auto& [a, b] : best_merges) {
-      DecompTree::TNode parent;
-      parent.left = a;
-      parent.right = b;
-      parent.prob = model.merge_prob(t.nodes[static_cast<std::size_t>(a)].prob,
-                                     t.nodes[static_cast<std::size_t>(b)].prob);
-      parent.height = 1 + std::max(t.nodes[static_cast<std::size_t>(a)].height,
-                                   t.nodes[static_cast<std::size_t>(b)].height);
-      t.nodes.push_back(parent);
-    }
-    t.root = static_cast<int>(t.nodes.size()) - 1;
-    MP_CHECK(t.height() <= max_height);
-    return t;
   }
 
   // The feasibility-constrained greedy is myopic and not monotone in the
@@ -293,5 +322,9 @@ DecompTree bounded_height_minpower_tree(const std::vector<double>& leaf_probs,
   annotate(best, model, leaf_probs);
   return best;
 }
+
+std::size_t bounded_exact_fallbacks() { return exact_fallback_slot(); }
+
+void reset_bounded_exact_fallbacks() { exact_fallback_slot() = 0; }
 
 }  // namespace minpower

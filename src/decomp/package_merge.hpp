@@ -15,6 +15,7 @@
 //     paper itself notes is quasi-linear). For L ≥ height of the unbounded
 //     Modified-Huffman tree the result coincides with Algorithm 2.2.
 
+#include <cstddef>
 #include <vector>
 
 #include "decomp/tree.hpp"
@@ -34,5 +35,12 @@ DecompTree bounded_height_minpower_tree(const std::vector<double>& leaf_probs,
 
 /// Smallest achievable height for `n` leaves: ceil(log2 n).
 int balanced_height(int n);
+
+/// Number of exact bounded-height searches on the calling thread that
+/// overran their step cap (or hit an "exact-overrun" fault injection) and
+/// fell back to the heuristic ladder. Thread-local so a FlowEngine task can
+/// reset before decomposing and read after to attribute fallbacks to itself.
+std::size_t bounded_exact_fallbacks();
+void reset_bounded_exact_fallbacks();
 
 }  // namespace minpower

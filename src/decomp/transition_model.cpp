@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <string>
+
+#include "util/budget.hpp"
 
 namespace minpower {
 
@@ -97,7 +100,10 @@ DecompTree modified_huffman_transitions(
 DecompTree best_tree_exhaustive_transitions(
     const std::vector<SignalTransition>& leaves, GateType gate) {
   MP_CHECK(!leaves.empty());
-  MP_CHECK_MSG(leaves.size() <= 9, "exhaustive search limited to 9 leaves");
+  if (leaves.size() > 9)
+    throw ResourceExhausted(
+        "exhaustive-tree", "exhaustive search limited to 9 leaves (got " +
+                               std::to_string(leaves.size()) + ")");
   DecompTree t = init_tree(leaves);
   if (t.num_leaves == 1) {
     t.root = 0;

@@ -35,6 +35,18 @@ const char* method_name(Method m) {
   return "?";
 }
 
+const char* task_state_name(TaskState s) {
+  switch (s) {
+    case TaskState::kOk:
+      return "ok";
+    case TaskState::kDegraded:
+      return "degraded";
+    case TaskState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
 void prepare_network(Network& net) { rugged_lite(net); }
 
 NetworkDecompOptions decomp_options_for(Method method,

@@ -25,12 +25,29 @@
 #include "map/mapper.hpp"
 #include "netlist/network.hpp"
 #include "power/report.hpp"
+#include "util/budget.hpp"
 
 namespace minpower {
 
 enum class Method { kI, kII, kIII, kIV, kV, kVI };
 
 const char* method_name(Method m);
+
+/// Outcome of one fault-isolated engine task.
+///   ok       — completed on the primary path;
+///   degraded — completed, but on a fallback (MC activities, heuristic
+///              ladder instead of the exact bounded-height search);
+///   failed   — no result; `reason` explains, sibling tasks are unaffected.
+enum class TaskState { kOk, kDegraded, kFailed };
+
+const char* task_state_name(TaskState s);
+
+struct TaskStatus {
+  TaskState state = TaskState::kOk;
+  std::string reason;                  // empty when ok
+  int retries = 0;                     // budget-shrunk re-attempts
+  std::vector<std::string> fallbacks;  // e.g. "mc-activity", "greedy-ladder"
+};
 
 struct FlowOptions {
   CircuitStyle style = CircuitStyle::kStatic;
@@ -55,6 +72,13 @@ struct FlowOptions {
   /// Worker threads for `run_all_methods` (0 → hardware concurrency).
   /// Results are deterministic and independent of the thread count.
   unsigned num_threads = 1;
+
+  /// Resource budget applied to every engine task. A task that exhausts its
+  /// budget degrades or fails in isolation (see TaskStatus); it never kills
+  /// the run.
+  std::size_t bdd_node_limit = kDefaultBddNodeLimit;
+  double task_deadline_ms = 0.0;   // wall-clock per task; 0 = none
+  std::size_t task_step_limit = 0; // budget checkpoints per task; 0 = none
 };
 
 /// Per-phase instrumentation of one method run (wall times are the only
@@ -79,6 +103,12 @@ struct PhaseStats {
   /// 3 of each for 6 methods; a standalone `run_method` does 1 of each).
   int decomp_passes = 0;
   int activity_passes = 0;
+
+  /// Degradation instrumentation: exact bounded-height searches that overran
+  /// their step cap and fell back to the heuristic ladder, and halved-cap
+  /// activity-pass retries taken before the result (or MC fallback) landed.
+  int exact_fallbacks = 0;
+  int activity_retries = 0;
 };
 
 struct FlowResult {
@@ -95,6 +125,8 @@ struct FlowResult {
   int redecomposed = 0;         // bounded-height loop iterations
   // Phase instrumentation (FlowEngine / run_method fill this in).
   PhaseStats phases;
+  // Fault-isolation outcome of the task(s) that produced this result.
+  TaskStatus status;
 };
 
 /// Apply rugged-lite preconditioning in place (every method's common start).

@@ -4,8 +4,12 @@
 #include <chrono>
 #include <functional>
 #include <ostream>
+#include <string>
 #include <thread>
 
+#include "decomp/package_merge.hpp"
+#include "prob/probability.hpp"
+#include "util/budget.hpp"
 #include "util/json_writer.hpp"
 
 namespace minpower {
@@ -43,7 +47,28 @@ struct DecompGroup {
   ActivityPassStats astats;
   double decomp_ms = 0.0;
   double activity_ms = 0.0;
+  TaskStatus status;
+  int exact_fallbacks = 0;
 };
+
+/// Per-task budget: FlowOptions limits + fault injections armed against
+/// this task's deterministic ordinal.
+Budget make_budget(const FlowOptions& flow,
+                   const std::vector<FaultInjection>& injections, long ordinal,
+                   std::string label) {
+  Budget b;
+  b.bdd_node_limit = flow.bdd_node_limit;
+  if (flow.task_deadline_ms > 0.0)
+    b.deadline = Budget::Clock::now() +
+                 std::chrono::duration_cast<Budget::Clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         flow.task_deadline_ms));
+  b.step_limit = flow.task_step_limit;
+  b.ordinal = ordinal;
+  b.label = std::move(label);
+  b.arm(injections);
+  return b;
+}
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -100,66 +125,190 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
   const unsigned threads = effective_threads();
   const FlowOptions& flow = options_.flow;
 
+  // Armed faults: explicit options first, then the environment hook.
+  std::vector<FaultInjection> injections = options_.injections;
+  for (FaultInjection& f : fault_injections_from_env())
+    injections.push_back(std::move(f));
+
   // ---- stage 1: one decomposition + one activity pass per distinct
-  // subject network (3 per circuit). ---------------------------------------
+  // subject network (3 per circuit). Each task is fault-isolated: a blown
+  // budget degrades (halved-cap retry, then Monte-Carlo activities) or
+  // fails this group only. -------------------------------------------------
   std::vector<DecompGroup> groups(n * 3);
   parallel_for(n * 3, threads, [&](std::size_t t) {
     const Network& net = *circuits[t / 3];
     DecompGroup& g = groups[t];
+    const long ordinal = static_cast<long>(t);
+    const std::string label =
+        net.name() + "/decomp[" + std::to_string(t % 3) + "]";
     const NetworkDecompOptions d =
         decomp_options_for(kGroupMethod[t % 3], flow);
-    auto t0 = std::chrono::steady_clock::now();
-    g.nd = decompose_network(net, d);
-    g.decomp_ms = ms_since(t0);
-    t0 = std::chrono::steady_clock::now();
-    g.activities = switching_activities(g.nd.network, flow.style,
-                                        flow.pi_prob1, &g.astats);
-    g.activity_ms = ms_since(t0);
+
+    auto note_fallback = [&g](const char* name) {
+      g.status.state = TaskState::kDegraded;
+      for (const std::string& f : g.status.fallbacks)
+        if (f == name) return;
+      g.status.fallbacks.push_back(name);
+    };
+
+    // Decomposition with its own ladder: the exact probability pass inside
+    // decompose_network builds BDDs too, so a blowup here retries at half
+    // the node cap and then re-decomposes over Monte-Carlo probabilities
+    // (which skips the BDD pass entirely).
+    reset_bounded_exact_fallbacks();
+    auto decomp_pass = [&](std::size_t node_cap,
+                           const std::vector<double>* node_prob) {
+      Budget budget = make_budget(flow, injections, ordinal, label);
+      budget.bdd_node_limit = node_cap;
+      BudgetScope scope(budget);
+      NetworkDecompOptions dd = d;
+      if (node_prob != nullptr) dd.node_prob = *node_prob;
+      const auto t0 = std::chrono::steady_clock::now();
+      g.nd = decompose_network(net, dd);
+      g.decomp_ms += ms_since(t0);
+    };
+    try {
+      try {
+        decomp_pass(flow.bdd_node_limit, nullptr);
+      } catch (const ResourceExhausted& e) {
+        if (e.site() == "deadline") throw;
+        g.status.retries += 1;
+        decomp_pass(std::max<std::size_t>(flow.bdd_node_limit / 2, 2),
+                    nullptr);
+      }
+    } catch (const ResourceExhausted& e) {
+      if (e.site() == "deadline" || e.site() == "decomp") {
+        g.status.state = TaskState::kFailed;
+        g.status.reason = e.what();
+        return;
+      }
+      // MC signal probabilities: activity under kDynamicP is exactly P(=1).
+      try {
+        const std::vector<double> mc_prob = monte_carlo_activities(
+            net, CircuitStyle::kDynamicP, flow.pi_prob1);
+        decomp_pass(flow.bdd_node_limit, &mc_prob);
+      } catch (const std::exception& e2) {
+        g.status.state = TaskState::kFailed;
+        g.status.reason = e2.what();
+        return;
+      }
+      if (g.status.reason.empty()) g.status.reason = e.what();
+      note_fallback("mc-activity");
+    } catch (const std::exception& e) {
+      g.status.state = TaskState::kFailed;
+      g.status.reason = e.what();
+      return;
+    }
+    g.exact_fallbacks = static_cast<int>(bounded_exact_fallbacks());
+    if (g.exact_fallbacks > 0) note_fallback("greedy-ladder");
+
+    // Activity pass with the degradation ladder: full budget, one retry at
+    // half the BDD node cap, then the Monte-Carlo estimator. Deadline and
+    // unexpected errors fail the group instead of degrading.
+    auto exact_pass = [&](std::size_t node_cap) {
+      Budget budget = make_budget(flow, injections, ordinal,
+                                  net.name() + "/activity[" +
+                                      std::to_string(t % 3) + "]");
+      budget.bdd_node_limit = node_cap;
+      BudgetScope scope(budget);
+      const auto t0 = std::chrono::steady_clock::now();
+      g.activities = switching_activities(g.nd.network, flow.style,
+                                          flow.pi_prob1, &g.astats);
+      g.activity_ms += ms_since(t0);
+    };
+    try {
+      try {
+        exact_pass(flow.bdd_node_limit);
+      } catch (const ResourceExhausted& e) {
+        if (e.site() == "deadline") throw;
+        g.status.retries += 1;
+        exact_pass(std::max<std::size_t>(flow.bdd_node_limit / 2, 2));
+      }
+    } catch (const ResourceExhausted& e) {
+      if (e.site() == "deadline") {
+        g.status.state = TaskState::kFailed;
+        g.status.reason = e.what();
+        return;
+      }
+      // Fall back to Monte-Carlo activities: deterministic, BDD-free.
+      const auto t0 = std::chrono::steady_clock::now();
+      g.activities =
+          monte_carlo_activities(g.nd.network, flow.style, flow.pi_prob1);
+      g.activity_ms += ms_since(t0);
+      if (g.status.reason.empty()) g.status.reason = e.what();
+      note_fallback("mc-activity");
+    } catch (const std::exception& e) {
+      g.status.state = TaskState::kFailed;
+      g.status.reason = e.what();
+    }
   });
   counters_.decomp_passes += static_cast<int>(n) * 3;
   counters_.activity_passes += static_cast<int>(n) * 3;
 
   // ---- stage 2: map + evaluate each (circuit × method) over the shared
-  // subject. ---------------------------------------------------------------
+  // subject. A method whose group failed inherits that failure; its own
+  // budget covers mapping and evaluation. ----------------------------------
   std::vector<std::vector<FlowResult>> out(n, std::vector<FlowResult>(6));
   parallel_for(n * 6, threads, [&](std::size_t t) {
     const std::size_t ci = t / 6;
     const Method method = kMethods[t % 6];
     const Network& prepared = *circuits[ci];
     const DecompGroup& g = groups[ci * 3 + group_of(method)];
+    const long ordinal = static_cast<long>(3 * n + t);
 
     FlowResult r;
     r.circuit = prepared.name();
     r.method = method;
-    r.tree_activity = g.nd.tree_activity;
-    r.nand_depth = g.nd.unit_depth;
-    r.nand_nodes = g.nd.network.num_internal();
-    r.redecomposed = g.nd.redecomposed_nodes;
+    r.status = g.status;  // inherit group degradation / failure context
     r.phases.decomp_ms = g.decomp_ms;
     r.phases.activity_ms = g.activity_ms;
     r.phases.bdd_nodes = g.astats.bdd_nodes;
-    r.phases.redecomp_iterations = g.nd.redecomposed_nodes;
     r.phases.shared_decomp = true;
     r.phases.shared_activity = true;
     r.phases.decomp_passes = 3;
     r.phases.activity_passes = 3;
+    r.phases.exact_fallbacks = g.exact_fallbacks;
+    r.phases.activity_retries = g.status.retries;
 
-    MapOptions m = map_options_for(method, flow);
-    m.activities = g.activities;
-    auto t0 = std::chrono::steady_clock::now();
-    const MapResult mapped = map_network(g.nd.network, lib_, m);
-    r.phases.map_ms = ms_since(t0);
-    r.phases.matches = mapped.total_matches;
-    r.phases.curve_points = mapped.total_curve_points;
+    if (g.status.state == TaskState::kFailed) {
+      r.status.reason = "decomposition/activity failed: " + g.status.reason;
+      out[ci][t % 6] = std::move(r);
+      return;
+    }
+    r.tree_activity = g.nd.tree_activity;
+    r.nand_depth = g.nd.unit_depth;
+    r.nand_nodes = g.nd.network.num_internal();
+    r.redecomposed = g.nd.redecomposed_nodes;
+    r.phases.redecomp_iterations = g.nd.redecomposed_nodes;
 
-    t0 = std::chrono::steady_clock::now();
-    const MappedReport rep =
-        evaluate_mapped(mapped.mapped, PowerParams::from(m));
-    r.phases.eval_ms = ms_since(t0);
-    r.area = rep.area;
-    r.delay = rep.delay;
-    r.power_uw = rep.power_uw;
-    r.gates = rep.num_gates;
+    try {
+      Budget budget =
+          make_budget(flow, injections, ordinal,
+                      prepared.name() + "/map[" + method_name(method) + "]");
+      BudgetScope scope(budget);
+
+      MapOptions m = map_options_for(method, flow);
+      m.activities = g.activities;
+      auto t0 = std::chrono::steady_clock::now();
+      const MapResult mapped = map_network(g.nd.network, lib_, m);
+      r.phases.map_ms = ms_since(t0);
+      r.phases.matches = mapped.total_matches;
+      r.phases.curve_points = mapped.total_curve_points;
+
+      t0 = std::chrono::steady_clock::now();
+      const MappedReport rep =
+          evaluate_mapped(mapped.mapped, PowerParams::from(m));
+      r.phases.eval_ms = ms_since(t0);
+      r.area = rep.area;
+      r.delay = rep.delay;
+      r.power_uw = rep.power_uw;
+      r.gates = rep.num_gates;
+    } catch (const std::exception& e) {
+      r.status.state = TaskState::kFailed;
+      r.status.reason = e.what();
+      r.area = r.delay = r.power_uw = 0.0;
+      r.gates = 0;
+    }
     out[ci][t % 6] = std::move(r);
   });
   counters_.map_passes += static_cast<int>(n) * 6;
@@ -170,6 +319,27 @@ void write_flow_json(std::ostream& os,
                      const std::vector<std::vector<FlowResult>>& per_circuit,
                      const EngineCounters& counters, unsigned num_threads,
                      double elapsed_ms, const std::string& library_name) {
+  // Task rollup: every (circuit × method) result carries the status of the
+  // tasks that produced it.
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;
+  for (const std::vector<FlowResult>& methods : per_circuit)
+    for (const FlowResult& r : methods) {
+      switch (r.status.state) {
+        case TaskState::kOk: ++ok; break;
+        case TaskState::kDegraded: ++degraded; break;
+        case TaskState::kFailed: ++failed; break;
+      }
+    }
+  auto worst_of = [](const std::vector<FlowResult>& methods) {
+    TaskState worst = TaskState::kOk;
+    for (const FlowResult& r : methods)
+      if (static_cast<int>(r.status.state) > static_cast<int>(worst))
+        worst = r.status.state;
+    return worst;
+  };
+
   JsonWriter w(os);
   w.begin_object();
   w.field("schema", "minpower.flow.v1");
@@ -182,11 +352,18 @@ void write_flow_json(std::ostream& os,
   w.field("activity_passes", counters.activity_passes);
   w.field("map_passes", counters.map_passes);
   w.end_object();
+  w.key("tasks");
+  w.begin_object();
+  w.field("ok", ok);
+  w.field("degraded", degraded);
+  w.field("failed", failed);
+  w.end_object();
   w.key("circuits");
   w.begin_array();
   for (const std::vector<FlowResult>& methods : per_circuit) {
     w.begin_object();
     w.field("name", methods.empty() ? std::string() : methods.front().circuit);
+    w.field("status", task_state_name(worst_of(methods)));
     w.key("methods");
     w.begin_array();
     for (const FlowResult& r : methods) {
@@ -200,6 +377,16 @@ void write_flow_json(std::ostream& os,
       w.field("nand_depth", r.nand_depth);
       w.field("nand_nodes", r.nand_nodes);
       w.field("redecomposed", r.redecomposed);
+      w.key("status");
+      w.begin_object();
+      w.field("state", task_state_name(r.status.state));
+      w.field("reason", r.status.reason);
+      w.field("retries", r.status.retries);
+      w.key("fallbacks");
+      w.begin_array();
+      for (const std::string& f : r.status.fallbacks) w.value(f);
+      w.end_array();
+      w.end_object();
       w.key("phases");
       w.begin_object();
       w.field("decomp_ms", r.phases.decomp_ms);
@@ -214,6 +401,8 @@ void write_flow_json(std::ostream& os,
       w.field("shared_activity", r.phases.shared_activity);
       w.field("decomp_passes", r.phases.decomp_passes);
       w.field("activity_passes", r.phases.activity_passes);
+      w.field("exact_fallbacks", r.phases.exact_fallbacks);
+      w.field("activity_retries", r.phases.activity_retries);
       w.end_object();
       w.end_object();
     }

@@ -20,11 +20,26 @@
 // options) are read-only during a run. Results are written to pre-sized
 // slots indexed by (circuit, method), so output ordering — and every
 // computed value — is deterministic and independent of the thread count.
+//
+// Fault isolation: every task runs under its own Budget (FlowOptions carries
+// the per-task limits). A task that exhausts its budget degrades (MC
+// activity fallback, heuristic-ladder decomposition) or fails, recording a
+// TaskStatus into its pre-sized result slot; sibling tasks and the pool are
+// untouched and the run completes with partial results.
+//
+// Deterministic fault injection matches tasks by *ordinal* — the task's slot
+// index, not a temporal counter — so an injected fault hits the same task at
+// any thread count:
+//   stage-1 task (decomp + activity):  ordinal = circuit*3 + group
+//   stage-2 task (map + evaluate):     ordinal = 3*num_circuits
+//                                                + circuit*6 + method_index
+// (a single-circuit run thus has stage-1 ordinals 0–2, stage-2 3–8).
 
 #include <iosfwd>
 #include <vector>
 
 #include "flow/flow.hpp"
+#include "util/budget.hpp"
 
 namespace minpower {
 
@@ -32,6 +47,9 @@ struct EngineOptions {
   FlowOptions flow;
   /// Worker threads (0 → hardware concurrency). 1 runs inline.
   unsigned num_threads = 1;
+  /// Armed faults, merged with MINPOWER_INJECT_FAULT at each run_suite
+  /// call (see the ordinal scheme above).
+  std::vector<FaultInjection> injections;
 };
 
 /// Cumulative pass counts over the engine's lifetime (across run_* calls).

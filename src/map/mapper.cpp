@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "util/budget.hpp"
+
 namespace minpower {
 
 namespace {
@@ -42,6 +44,7 @@ MapResult map_network(const Network& subject, const Library& lib,
 
   // ---- postorder: power-delay / area-delay curves --------------------------
   for (NodeId id : topo) {
+    budget_checkpoint("map");
     const Node& n = subject.node(id);
     if (n.is_pi() || n.is_const()) {
       CurvePoint p;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/budget.hpp"
+#include "util/rng.hpp"
+
 namespace minpower {
 
 std::vector<int> dfs_pi_variable_order(const Network& net) {
@@ -43,6 +46,7 @@ NetworkBdds::NetworkBdds(BddManager& mgr, const Network& net) : mgr_(mgr) {
     pi_var[net.pis()[i]] = pi_var_order_[i];
 
   for (NodeId id : net.topo_order()) {
+    budget_checkpoint("activity");
     const Node& n = net.node(id);
     BddRef r = BddManager::kFalse;
     switch (n.kind) {
@@ -103,6 +107,66 @@ std::vector<double> switching_activities(const Network& net,
       signal_probabilities(net, std::move(pi_prob1), stats);
   for (double& x : p) x = switching_activity(x, style);
   return p;
+}
+
+std::vector<double> monte_carlo_activities(const Network& net,
+                                           CircuitStyle style,
+                                           std::vector<double> pi_prob1,
+                                           int samples, std::uint64_t seed) {
+  MP_CHECK(samples > 0);
+  const std::size_t n = net.pis().size();
+  if (pi_prob1.empty()) pi_prob1.assign(n, 0.5);
+  MP_CHECK(pi_prob1.size() == n);
+
+  const std::vector<NodeId> order = net.topo_order();
+  std::vector<char> value(net.capacity(), 0);
+  auto eval_net = [&]() {
+    for (NodeId id : order) {
+      const Node& node = net.node(id);
+      if (node.kind == NodeKind::kConstant1)
+        value[static_cast<std::size_t>(id)] = 1;
+      if (!node.is_internal()) continue;
+      std::uint64_t assignment = 0;
+      for (std::size_t i = 0; i < node.fanins.size(); ++i)
+        if (value[static_cast<std::size_t>(node.fanins[i])])
+          assignment |= std::uint64_t{1} << i;
+      value[static_cast<std::size_t>(id)] = node.cover.eval(assignment);
+    }
+  };
+
+  Rng rng(seed);
+  std::vector<double> tally(net.capacity(), 0.0);
+  std::vector<char> first(net.capacity(), 0);
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < n; ++i)
+      value[static_cast<std::size_t>(net.pis()[i])] = rng.coin(pi_prob1[i]);
+    eval_net();
+    if (style == CircuitStyle::kStatic) {
+      // Vector-pair sampling: a second independent vector per sample and
+      // count value changes, matching E = P(0→1) + P(1→0) directly.
+      first = value;
+      for (std::size_t i = 0; i < n; ++i)
+        value[static_cast<std::size_t>(net.pis()[i])] = rng.coin(pi_prob1[i]);
+      eval_net();
+    }
+    for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+      if (net.node(id).is_dead()) continue;
+      const std::size_t k = static_cast<std::size_t>(id);
+      switch (style) {
+        case CircuitStyle::kStatic:
+          tally[k] += value[k] != first[k] ? 1.0 : 0.0;
+          break;
+        case CircuitStyle::kDynamicP:
+          tally[k] += value[k] ? 1.0 : 0.0;
+          break;
+        case CircuitStyle::kDynamicN:
+          tally[k] += value[k] ? 0.0 : 1.0;
+          break;
+      }
+    }
+  }
+  for (double& x : tally) x /= samples;
+  return tally;
 }
 
 double total_internal_activity(const Network& net, CircuitStyle style,

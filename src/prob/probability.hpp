@@ -95,6 +95,18 @@ std::vector<double> switching_activities(const Network& net,
                                          std::vector<double> pi_prob1 = {},
                                          ActivityPassStats* stats = nullptr);
 
+/// Monte-Carlo estimate of per-node switching activities: the degradation
+/// fallback when exact BDD-based activities blow past their node budget.
+/// Deterministic for a fixed seed. Static CMOS samples independent vector
+/// pairs and counts value changes (zero-delay model, the same sampling as
+/// verify's monte_carlo_power); dynamic styles count evaluate-phase
+/// switching directly. Dead-node slots are 0.
+std::vector<double> monte_carlo_activities(const Network& net,
+                                           CircuitStyle style,
+                                           std::vector<double> pi_prob1 = {},
+                                           int samples = 4096,
+                                           std::uint64_t seed = 0x6d6f6e7465ULL);
+
 /// Sum of switching activities over internal nodes (the decomposition
 /// objective of Section 2); optionally also count PI activity, as the
 /// Figure 1 example does.

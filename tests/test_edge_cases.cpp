@@ -14,15 +14,16 @@
 namespace minpower {
 namespace {
 
-TEST(EdgeCases, BddNodeLimitAborts) {
-  // A tiny manager hits its ceiling on a parity chain.
-  EXPECT_DEATH(
+TEST(EdgeCases, BddNodeLimitThrowsRecoverable) {
+  // A tiny manager hits its ceiling on a parity chain. The limit is a
+  // recoverable ResourceExhausted (callers retry or degrade), not an abort.
+  BddManager mgr(8);
+  BddRef f = BddManager::kFalse;
+  EXPECT_THROW(
       {
-        BddManager mgr(8);
-        BddRef f = BddManager::kFalse;
         for (int i = 0; i < 10; ++i) f = mgr.xor_(f, mgr.var(i));
       },
-      "BDD node limit");
+      ResourceExhausted);
 }
 
 TEST(EdgeCases, BddOpCacheClearKeepsRefsValid) {

@@ -9,10 +9,10 @@
 //   minpower map    <in.blif> [-o mapped.blif] [-O power|area]
 //                   [--genlib lib.genlib] [--relax F] [--sim]
 //                                                  full flow + mapping report
-//   minpower flow   <in.blif> [--genlib lib.genlib] [--threads N]
-//                   [--json out.json]
-//                                                  run Methods I–VI, print table
-//                                                  (+ machine-readable JSON)
+//   minpower flow   <in.blif>... [--genlib lib.genlib] [--threads N]
+//                   [--json out.json] [--deadline-ms T] [--bdd-limit N]
+//                                                  run Methods I–VI per circuit,
+//                                                  print table (+ JSON)
 //   minpower verify [--seed N] [--count N] [--json out.json]
 //                                                  differential verification
 //                                                  harness (seeded oracles)
@@ -20,6 +20,10 @@
 //   minpower bench  <name> [-o out.blif]           emit a suite circuit
 //
 // Every subcommand reads plain BLIF; `map -o` writes the SIS .gate dialect.
+//
+// Exit codes: 0 = success; 2 = completed with partial/degraded results
+// (some flow tasks degraded or failed, or verification found failures);
+// 1 = fatal error (bad usage, unreadable input, internal error).
 
 #include <chrono>
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -67,14 +72,21 @@ struct Args {
   std::optional<std::string> json;
   std::uint64_t seed = 1;
   int count = 200;
+  double deadline_ms = 0.0;
+  std::size_t bdd_limit = 0;  // 0 → library default
 };
+
+/// Fatal usage / input problems throw; main() turns them into exit code 1.
+[[noreturn]] void fatal(const std::string& message) {
+  throw std::runtime_error(message);
+}
 
 Args parse_args(int argc, char** argv, int first) {
   Args a;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) {
-      MP_CHECK_MSG(i + 1 < argc, (std::string(flag) + " needs a value").c_str());
+      if (i + 1 >= argc) fatal(std::string(flag) + " needs a value");
       return std::string(argv[++i]);
     };
     if (arg == "-o") a.out = value("-o");
@@ -88,6 +100,10 @@ Args parse_args(int argc, char** argv, int first) {
     else if (arg == "--json") a.json = value("--json");
     else if (arg == "--seed") a.seed = std::stoull(value("--seed"));
     else if (arg == "--count") a.count = std::stoi(value("--count"));
+    else if (arg == "--deadline-ms")
+      a.deadline_ms = std::stod(value("--deadline-ms"));
+    else if (arg == "--bdd-limit")
+      a.bdd_limit = std::stoull(value("--bdd-limit"));
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -102,17 +118,27 @@ CircuitStyle style_of(const std::string& s) {
   if (s == "static") return CircuitStyle::kStatic;
   if (s == "dynp") return CircuitStyle::kDynamicP;
   if (s == "dynn") return CircuitStyle::kDynamicN;
-  MP_CHECK_MSG(false, "style must be static|dynp|dynn");
-  return CircuitStyle::kStatic;
+  fatal("style must be static|dynp|dynn");
 }
 
 Library load_library(const Args& a) {
   if (!a.genlib) return Library::parse_genlib(standard_library_genlib(), "mp-lib2");
   std::ifstream in(*a.genlib);
-  MP_CHECK_MSG(in.good(), "cannot open genlib file");
+  if (!in.good()) fatal("cannot open genlib file " + *a.genlib);
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   return Library::parse_genlib(text, *a.genlib);
+}
+
+/// Read one BLIF input; malformed or missing files are fatal (exit 1), with
+/// the parser's structured diagnostic instead of an abort.
+Network load_blif(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) fatal("cannot open BLIF file " + path);
+  BlifError err;
+  std::optional<Network> net = try_read_blif(in, &err);
+  if (!net) fatal(path + ": " + err.to_string());
+  return std::move(*net);
 }
 
 void emit_blif(const Network& net, const std::optional<std::string>& path) {
@@ -126,7 +152,8 @@ void emit_blif(const Network& net, const std::optional<std::string>& path) {
 }
 
 int cmd_stats(const Args& a) {
-  const Network net = read_blif_file(a.positional.at(0));
+  if (a.positional.empty()) fatal("stats needs a BLIF file");
+  const Network net = load_blif(a.positional.at(0));
   int fact_lits = 0;
   for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id)
     if (net.node(id).is_internal())
@@ -152,7 +179,8 @@ int cmd_stats(const Args& a) {
 }
 
 int cmd_opt(const Args& a) {
-  Network net = read_blif_file(a.positional.at(0));
+  if (a.positional.empty()) fatal("opt needs a BLIF file");
+  Network net = load_blif(a.positional.at(0));
   const OptStats stats =
       a.power_opt ? rugged_lite_power(net) : rugged_lite(net);
   std::fprintf(stderr,
@@ -166,7 +194,8 @@ int cmd_opt(const Args& a) {
 }
 
 int cmd_decomp(const Args& a) {
-  Network net = read_blif_file(a.positional.at(0));
+  if (a.positional.empty()) fatal("decomp needs a BLIF file");
+  Network net = load_blif(a.positional.at(0));
   prepare_network(net);
   NetworkDecompOptions o;
   o.style = style_of(a.style);
@@ -183,7 +212,8 @@ int cmd_decomp(const Args& a) {
 }
 
 int cmd_map(const Args& a) {
-  Network net = read_blif_file(a.positional.at(0));
+  if (a.positional.empty()) fatal("map needs a BLIF file");
+  Network net = load_blif(a.positional.at(0));
   std::vector<double> pi_prob;
   if (a.sequential) {
     const auto latches = infer_latches(net);
@@ -239,52 +269,80 @@ int cmd_map(const Args& a) {
 }
 
 int cmd_flow(const Args& a) {
-  Network net = read_blif_file(a.positional.at(0));
-  prepare_network(net);
+  if (a.positional.empty()) fatal("flow needs at least one BLIF file");
+  std::vector<Network> nets;
+  nets.reserve(a.positional.size());
+  for (const std::string& path : a.positional) {
+    nets.push_back(load_blif(path));
+    prepare_network(nets.back());
+  }
+  std::vector<const Network*> circuits;
+  for (const Network& n : nets) circuits.push_back(&n);
   const Library lib = load_library(a);
 
   EngineOptions eo;
   eo.num_threads = a.threads;
+  eo.flow.task_deadline_ms = a.deadline_ms;
+  if (a.bdd_limit != 0) eo.flow.bdd_node_limit = a.bdd_limit;
   FlowEngine engine(lib, eo);
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<FlowResult> rs = engine.run_circuit(net);
+  const std::vector<std::vector<FlowResult>> per_circuit =
+      engine.run_suite(circuits);
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
 
-  std::printf("%-8s %8s %8s %10s %7s %9s %9s\n", "method", "area", "delay",
-              "power", "gates", "map_ms", "decomp_ms");
-  for (const FlowResult& r : rs)
-    std::printf("%-8s %8.0f %8.2f %10.1f %7zu %9.2f %9.2f\n",
-                method_name(r.method), r.area, r.delay, r.power_uw, r.gates,
-                r.phases.map_ms, r.phases.decomp_ms);
+  std::printf("%-10s %-8s %8s %8s %10s %7s %-9s\n", "circuit", "method",
+              "area", "delay", "power", "gates", "status");
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;
+  for (const std::vector<FlowResult>& rs : per_circuit)
+    for (const FlowResult& r : rs) {
+      std::printf("%-10s %-8s %8.0f %8.2f %10.1f %7zu %-9s\n",
+                  r.circuit.c_str(), method_name(r.method), r.area, r.delay,
+                  r.power_uw, r.gates, task_state_name(r.status.state));
+      switch (r.status.state) {
+        case TaskState::kOk: ++ok; break;
+        case TaskState::kDegraded: ++degraded; break;
+        case TaskState::kFailed: ++failed; break;
+      }
+      if (r.status.state != TaskState::kOk)
+        std::fprintf(stderr, "task %s/%s: %s (%s%s; retries=%d)\n",
+                     r.circuit.c_str(), method_name(r.method),
+                     task_state_name(r.status.state), r.status.reason.c_str(),
+                     r.status.fallbacks.empty()
+                         ? ""
+                         : ("; fallback " + r.status.fallbacks.back()).c_str(),
+                     r.status.retries);
+    }
   std::fprintf(stderr,
                "engine: %d decompositions, %d activity passes, %d mappings, "
-               "%u thread(s), %.1f ms\n",
+               "%u thread(s), %.1f ms; tasks: %d ok, %d degraded, %d failed\n",
                engine.counters().decomp_passes,
                engine.counters().activity_passes, engine.counters().map_passes,
-               engine.effective_threads(), elapsed_ms);
+               engine.effective_threads(), elapsed_ms, ok, degraded, failed);
   if (a.json) {
     std::ofstream out(*a.json);
-    MP_CHECK_MSG(out.good(), "cannot open JSON output file");
-    write_flow_json(out, {rs}, engine.counters(), engine.effective_threads(),
-                    elapsed_ms, lib.name());
+    if (!out.good()) fatal("cannot open JSON output file " + *a.json);
+    write_flow_json(out, per_circuit, engine.counters(),
+                    engine.effective_threads(), elapsed_ms, lib.name());
   }
-  return 0;
+  return degraded + failed > 0 ? 2 : 0;
 }
 
 int cmd_verify(const Args& a) {
   // Two positional files: classic pairwise combinational equivalence.
   if (a.positional.size() == 2) {
-    const Network x = read_blif_file(a.positional.at(0));
-    const Network y = read_blif_file(a.positional.at(1));
+    const Network x = load_blif(a.positional.at(0));
+    const Network y = load_blif(a.positional.at(1));
     const bool eq = networks_equivalent(x, y);
     std::printf("%s\n", eq ? "EQUIVALENT" : "NOT EQUIVALENT");
-    return eq ? 0 : 1;
+    return eq ? 0 : 2;
   }
-  MP_CHECK_MSG(a.positional.empty(),
-               "verify takes either two BLIF files or no positional args");
+  if (!a.positional.empty())
+    fatal("verify takes either two BLIF files or no positional args");
 
   // No files: the seeded differential harness (DESIGN.md §8).
   verify::VerifyOptions o;
@@ -308,14 +366,18 @@ int cmd_verify(const Args& a) {
                  static_cast<unsigned long long>(f.seed));
   if (a.json) {
     std::ofstream out(*a.json);
-    MP_CHECK_MSG(out.good(), "cannot open JSON output file");
+    if (!out.good()) fatal("cannot open JSON output file " + *a.json);
     verify::write_verify_json(out, o, r);
   }
+  if (!r.ok())
+    std::fprintf(stderr, "verify: %d checks failed\n",
+                 static_cast<int>(r.failures.size()));
   std::printf("%s\n", r.ok() ? "OK" : "FAILED");
-  return r.ok() ? 0 : 1;
+  return r.ok() ? 0 : 2;
 }
 
 int cmd_bench(const Args& a) {
+  if (a.positional.empty()) fatal("bench needs a circuit name");
   const Network net = make_benchmark(a.positional.at(0));
   emit_blif(net, a.out);
   return 0;
@@ -328,17 +390,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: minpower <stats|opt|decomp|map|flow|verify|bench> "
                  "...\n");
-    return 2;
+    return 1;
   }
-  const std::string cmd = argv[1];
-  const Args a = parse_args(argc, argv, 2);
-  if (cmd == "stats") return cmd_stats(a);
-  if (cmd == "opt") return cmd_opt(a);
-  if (cmd == "decomp") return cmd_decomp(a);
-  if (cmd == "map") return cmd_map(a);
-  if (cmd == "flow") return cmd_flow(a);
-  if (cmd == "verify") return cmd_verify(a);
-  if (cmd == "bench") return cmd_bench(a);
-  std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
-  return 2;
+  try {
+    const std::string cmd = argv[1];
+    const Args a = parse_args(argc, argv, 2);
+    if (cmd == "stats") return cmd_stats(a);
+    if (cmd == "opt") return cmd_opt(a);
+    if (cmd == "decomp") return cmd_decomp(a);
+    if (cmd == "map") return cmd_map(a);
+    if (cmd == "flow") return cmd_flow(a);
+    if (cmd == "verify") return cmd_verify(a);
+    if (cmd == "bench") return cmd_bench(a);
+    std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "minpower: fatal: %s\n", e.what());
+    return 1;
+  }
 }
