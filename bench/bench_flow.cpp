@@ -8,6 +8,9 @@
 //   bench_flow [out.json] [max_circuits] [num_threads]
 //
 // Defaults: BENCH_flow.json, the full suite, hardware concurrency.
+// Set MINPOWER_TRACE=<file> to also record a Chrome trace of the run
+// (chrome://tracing / ui.perfetto.dev); the JSON report always carries the
+// metrics-registry snapshot in its `metrics` block.
 
 #include <chrono>
 #include <cstdio>
@@ -16,6 +19,7 @@
 
 #include "bench_util.hpp"
 #include "flow/flow_engine.hpp"
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 using namespace minpower;
@@ -36,6 +40,10 @@ int main(int argc, char** argv) {
   eo.num_threads = threads;
   FlowEngine engine(standard_library(), eo);
 
+  const char* trace_path = std::getenv("MINPOWER_TRACE");
+  if (trace_path != nullptr && trace_path[0] != '\0')
+    trace::set_enabled(true);
+
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<std::vector<FlowResult>> results =
       engine.run_suite(circuits);
@@ -43,6 +51,17 @@ int main(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+
+  if (trace::enabled()) {
+    trace::set_enabled(false);
+    std::ofstream tos(trace_path);
+    if (!tos.good()) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path);
+      return 1;
+    }
+    trace::write_chrome_trace(tos);
+    std::printf("trace: %zu events -> %s\n", trace::num_events(), trace_path);
+  }
 
   std::printf("%-8s %-6s %8s %8s %10s %7s %9s %9s %9s\n", "circuit", "method",
               "area", "delay", "power", "gates", "decomp_ms", "activ_ms",

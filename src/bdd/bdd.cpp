@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "trace/metrics.hpp"
+
 namespace minpower {
 
 BddManager::BddManager(std::size_t node_limit) : node_limit_(node_limit) {
@@ -12,6 +14,20 @@ BddManager::BddManager(std::size_t node_limit) : node_limit_(node_limit) {
   }
   nodes_.push_back(BddNode{kLeafVar, kFalse, kFalse});  // 0 = false
   nodes_.push_back(BddNode{kLeafVar, kTrue, kTrue});    // 1 = true
+}
+
+BddManager::~BddManager() {
+  static metrics::Counter& lookups = metrics::counter("bdd.unique_lookups");
+  static metrics::Counter& ites = metrics::counter("bdd.ite_calls");
+  static metrics::Counter& hits = metrics::counter("bdd.ite_cache_hits");
+  static metrics::Gauge& peak = metrics::gauge("bdd.unique_table_peak");
+  static metrics::Histogram& final_nodes =
+      metrics::histogram("bdd.final_nodes");
+  lookups.add(unique_lookups_);
+  ites.add(ite_calls_);
+  hits.add(ite_cache_hits_);
+  peak.record_max(nodes_.size());
+  final_nodes.record(nodes_.size());
 }
 
 BddRef BddManager::var(int index) {
@@ -25,6 +41,7 @@ BddRef BddManager::var(int index) {
 
 BddRef BddManager::make(int var, BddRef lo, BddRef hi) {
   if (lo == hi) return lo;
+  ++unique_lookups_;
   const UniqueKey key{var, lo, hi};
   const auto it = unique_.find(key);
   if (it != unique_.end()) return it->second;
@@ -49,9 +66,13 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
+  ++ite_calls_;
   const IteKey key{f, g, h};
   const auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  if (it != ite_cache_.end()) {
+    ++ite_cache_hits_;
+    return it->second;
+  }
 
   const int vf = nodes_[f].var;
   const int vg = is_const(g) ? kLeafVar : nodes_[g].var;

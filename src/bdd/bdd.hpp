@@ -30,6 +30,17 @@ class BddManager {
   /// armed on that budget forces a tiny cap so the limit machinery fires.
   explicit BddManager(std::size_t node_limit = kDefaultBddNodeLimit);
 
+  /// Flushes this manager's operation counts into the global metrics
+  /// registry (bdd.unique_lookups, bdd.ite_calls, bdd.ite_cache_hits, the
+  /// bdd.unique_table_peak gauge, and the bdd.final_nodes histogram). The
+  /// hot loops accumulate in plain members so per-operation instrumentation
+  /// cost is zero; the one-time flush also runs on exception unwind, so a
+  /// blown node budget still reports its work.
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
   static constexpr BddRef kFalse = 0;
   static constexpr BddRef kTrue = 1;
 
@@ -107,6 +118,9 @@ class BddManager {
   BddRef make(int var, BddRef lo, BddRef hi);
 
   std::size_t node_limit_;
+  std::size_t unique_lookups_ = 0;
+  std::size_t ite_calls_ = 0;
+  std::size_t ite_cache_hits_ = 0;
   int num_vars_ = 0;
   std::vector<BddNode> nodes_;
   std::vector<BddRef> var_nodes_;

@@ -6,9 +6,23 @@
 #include <set>
 #include <string>
 
+#include "trace/metrics.hpp"
 #include "util/budget.hpp"
 
 namespace minpower {
+
+namespace {
+
+/// All tree builders funnel parent creation through here or through the
+/// correlated builder's inline merge; both count into huffman.merges (for
+/// the exhaustive search this includes branch-and-bound explorations —
+/// still deterministic, and a direct measure of search effort).
+void count_merge() {
+  static metrics::Counter& merges = metrics::counter("huffman.merges");
+  merges.add(1);
+}
+
+}  // namespace
 
 namespace {
 
@@ -26,6 +40,7 @@ DecompTree init_leaves(const std::vector<double>& leaf_probs) {
 }
 
 int merge_nodes(DecompTree& t, int a, int b, const DecompModel& model) {
+  count_merge();
   DecompTree::TNode parent;
   parent.left = a;
   parent.right = b;
@@ -235,6 +250,7 @@ DecompTree modified_huffman_correlated(const JointProbabilities& joints,
       }
     // Merge bi, bj. Exact parent probability from the pairwise joint
     // (Eq. 7 for AND; inclusion-exclusion for OR).
+    count_merge();
     DecompTree::TNode parent;
     parent.left = bi;
     parent.right = bj;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/budget.hpp"
 
 namespace minpower {
@@ -124,6 +126,9 @@ double critical_path_surplus(const Network& net, NodeId target,
 
 NetworkDecompResult decompose_network(const Network& net,
                                       const NetworkDecompOptions& options) {
+  trace::Span span("decomp", "decomp");
+  span.arg("network", net.name());
+  metrics::counter("decomp.passes").add(1);
   // Exact probabilities of every original node: the Eq. 2 BDD traversal for
   // independent PIs, or the pattern distribution when correlations are
   // given.
@@ -186,6 +191,7 @@ NetworkDecompResult decompose_network(const Network& net,
     st.balanced_h = balanced_nand_height(n.cover);
     plans.emplace(id, std::move(st));
   }
+  metrics::counter("decomp.nodes_planned").add(plans.size());
 
   int redecomposed = 0;
   if (options.bounded_height) {
@@ -286,6 +292,10 @@ NetworkDecompResult decompose_network(const Network& net,
   MP_CHECK(out.is_nand_network());
   result.unit_depth = out.depth();
   result.redecomposed_nodes = redecomposed;
+  metrics::counter("decomp.redecomp_iterations")
+      .add(static_cast<std::uint64_t>(redecomposed));
+  span.arg("nodes_planned", static_cast<unsigned long long>(plans.size()));
+  span.arg("redecomposed", redecomposed);
   return result;
 }
 

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 
 #include "decomp/package_merge.hpp"
 #include "prob/probability.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/budget.hpp"
 #include "util/json_writer.hpp"
 
@@ -68,6 +72,44 @@ Budget make_budget(const FlowOptions& flow,
   b.label = std::move(label);
   b.arm(injections);
   return b;
+}
+
+/// Whole lines only, under one mutex: concurrent tasks never interleave
+/// partial status output.
+void emit_status_line(const std::string& line) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fputs(line.c_str(), stderr);
+}
+
+/// Scope guard that reports a task's final status once its slot has been
+/// written — including the early-return failure paths.
+struct StatusLine {
+  bool enabled;
+  const char* stage;
+  const std::string& label;
+  const TaskStatus& status;
+  ~StatusLine() {
+    if (!enabled) return;
+    std::string line = "[flow] ";
+    line += stage;
+    line += ' ';
+    line += label;
+    line += ' ';
+    line += task_state_name(status.state);
+    if (status.retries > 0) line += " retries=" + std::to_string(status.retries);
+    for (const std::string& f : status.fallbacks) line += " fallback=" + f;
+    if (!status.reason.empty()) line += " (" + status.reason + ")";
+    line += '\n';
+    emit_status_line(line);
+  }
+};
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0,
+                       std::chrono::steady_clock::time_point t1) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
 }
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
@@ -134,13 +176,21 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
   // subject network (3 per circuit). Each task is fault-isolated: a blown
   // budget degrades (halved-cap retry, then Monte-Carlo activities) or
   // fails this group only. -------------------------------------------------
+  const auto stage1_t0 = std::chrono::steady_clock::now();
   std::vector<DecompGroup> groups(n * 3);
   parallel_for(n * 3, threads, [&](std::size_t t) {
+    const auto task_start = std::chrono::steady_clock::now();
     const Network& net = *circuits[t / 3];
     DecompGroup& g = groups[t];
     const long ordinal = static_cast<long>(t);
     const std::string label =
         net.name() + "/decomp[" + std::to_string(t % 3) + "]";
+    trace::Span task_span("stage1", "engine");
+    task_span.arg("task", label);
+    task_span.arg("circuit", net.name());
+    task_span.arg("group", static_cast<unsigned long long>(t % 3));
+    task_span.arg("queue_wait_us", us_since(stage1_t0, task_start));
+    const StatusLine report{options_.verbose, "stage1", label, g.status};
     const NetworkDecompOptions d =
         decomp_options_for(kGroupMethod[t % 3], flow);
 
@@ -248,13 +298,26 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
   // ---- stage 2: map + evaluate each (circuit × method) over the shared
   // subject. A method whose group failed inherits that failure; its own
   // budget covers mapping and evaluation. ----------------------------------
+  const auto stage2_t0 = std::chrono::steady_clock::now();
   std::vector<std::vector<FlowResult>> out(n, std::vector<FlowResult>(6));
   parallel_for(n * 6, threads, [&](std::size_t t) {
+    const auto task_start = std::chrono::steady_clock::now();
     const std::size_t ci = t / 6;
     const Method method = kMethods[t % 6];
     const Network& prepared = *circuits[ci];
     const DecompGroup& g = groups[ci * 3 + group_of(method)];
     const long ordinal = static_cast<long>(3 * n + t);
+    const std::string label =
+        prepared.name() + "/map[" + method_name(method) + "]";
+    trace::Span task_span("stage2", "engine");
+    task_span.arg("task", label);
+    task_span.arg("circuit", prepared.name());
+    task_span.arg("method", method_name(method));
+    task_span.arg("queue_wait_us", us_since(stage2_t0, task_start));
+    // References the result slot, not the local: every exit path moves the
+    // local into the slot before the guard's destructor runs.
+    const StatusLine report{options_.verbose, "stage2", label,
+                            out[ci][t % 6].status};
 
     FlowResult r;
     r.circuit = prepared.name();
@@ -282,9 +345,7 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
     r.phases.redecomp_iterations = g.nd.redecomposed_nodes;
 
     try {
-      Budget budget =
-          make_budget(flow, injections, ordinal,
-                      prepared.name() + "/map[" + method_name(method) + "]");
+      Budget budget = make_budget(flow, injections, ordinal, label);
       BudgetScope scope(budget);
 
       MapOptions m = map_options_for(method, flow);
@@ -312,6 +373,39 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
     out[ci][t % 6] = std::move(r);
   });
   counters_.map_passes += static_cast<int>(n) * 6;
+
+  // Task-outcome metrics over all 9n tasks (3n stage-1 groups + 6n stage-2
+  // results). Retries/fallbacks originate in stage 1 and are counted there
+  // only (stage-2 results inherit the group status verbatim).
+  {
+    std::uint64_t ok = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t fallbacks = 0;
+    std::uint64_t exact_fb = 0;
+    auto bump = [&](TaskState s) {
+      switch (s) {
+        case TaskState::kOk: ++ok; break;
+        case TaskState::kDegraded: ++degraded; break;
+        case TaskState::kFailed: ++failed; break;
+      }
+    };
+    for (const DecompGroup& g : groups) {
+      bump(g.status.state);
+      retries += static_cast<std::uint64_t>(g.status.retries);
+      fallbacks += g.status.fallbacks.size();
+      exact_fb += static_cast<std::uint64_t>(g.exact_fallbacks);
+    }
+    for (const std::vector<FlowResult>& methods : out)
+      for (const FlowResult& r : methods) bump(r.status.state);
+    metrics::counter("engine.tasks_ok").add(ok);
+    metrics::counter("engine.tasks_degraded").add(degraded);
+    metrics::counter("engine.tasks_failed").add(failed);
+    metrics::counter("engine.retries").add(retries);
+    metrics::counter("engine.fallbacks").add(fallbacks);
+    metrics::counter("engine.exact_fallbacks").add(exact_fb);
+  }
   return out;
 }
 
@@ -358,6 +452,8 @@ void write_flow_json(std::ostream& os,
   w.field("degraded", degraded);
   w.field("failed", failed);
   w.end_object();
+  w.key("metrics");
+  metrics::write_metrics_json(w, metrics::Registry::global().snapshot());
   w.key("circuits");
   w.begin_array();
   for (const std::vector<FlowResult>& methods : per_circuit) {

@@ -50,6 +50,9 @@ struct EngineOptions {
   /// Armed faults, merged with MINPOWER_INJECT_FAULT at each run_suite
   /// call (see the ordinal scheme above).
   std::vector<FaultInjection> injections;
+  /// Emit one live stderr status line per finished task. Lines are built
+  /// whole and written under a mutex, so threads never interleave output.
+  bool verbose = false;
 };
 
 /// Cumulative pass counts over the engine's lifetime (across run_* calls).
@@ -84,8 +87,9 @@ class FlowEngine {
   EngineCounters counters_;
 };
 
-/// Serialize per-circuit six-method results (plus engine pass counters) as
-/// the machine-readable flow-bench schema `minpower.flow.v1` — see
+/// Serialize per-circuit six-method results (plus engine pass counters and
+/// a `metrics` block snapshotting the global metrics registry) as the
+/// machine-readable flow-bench schema `minpower.flow.v1` — see
 /// DESIGN.md §"Flow engine" for the field list.
 void write_flow_json(std::ostream& os,
                      const std::vector<std::vector<FlowResult>>& per_circuit,

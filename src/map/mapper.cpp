@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/budget.hpp"
 
 namespace minpower {
@@ -22,6 +24,9 @@ struct InputCand {
 
 MapResult map_network(const Network& subject, const Library& lib,
                       const MapOptions& options) {
+  trace::Span span("map", "map");
+  span.arg("network", subject.name());
+  metrics::counter("map.passes").add(1);
   subject.check();
   for (NodeId id = 0; id < static_cast<NodeId>(subject.capacity()); ++id) {
     const Node& n = subject.node(id);
@@ -39,6 +44,7 @@ MapResult map_network(const Network& subject, const Library& lib,
   const std::vector<NodeId> topo = subject.topo_order();
 
   MapResult result;
+  std::size_t points_pruned = 0;
   std::vector<Curve> curve(subject.capacity());
   std::vector<std::vector<Match>> matches(subject.capacity());
 
@@ -68,6 +74,11 @@ MapResult map_network(const Network& subject, const Library& lib,
     });
     MP_CHECK_MSG(!ms.empty(), "no match at subject node (library too small)");
     result.total_matches += ms.size();
+    // Per-node registry lookups are too hot for the inner loop; accumulate
+    // locally and flush once per pass (handles stay valid across reset()).
+    static metrics::Histogram& matches_per_node =
+        metrics::histogram("map.matches_per_node");
+    matches_per_node.record(ms.size());
 
     Curve& out = curve[static_cast<std::size_t>(id)];
     for (std::size_t mi = 0; mi < ms.size(); ++mi) {
@@ -164,10 +175,15 @@ MapResult map_network(const Network& subject, const Library& lib,
         out.insert(std::move(p));
       }
     }
+    const std::size_t before_prune = out.size();
     out.prune(options.epsilon_t, options.epsilon_c);
     MP_CHECK(!out.empty());
     result.total_curve_points += out.size();
+    points_pruned += before_prune - out.size();
   }
+  metrics::counter("map.match_attempts").add(result.total_matches);
+  metrics::counter("map.curve_points_kept").add(result.total_curve_points);
+  metrics::counter("map.curve_points_pruned").add(points_pruned);
 
   // ---- required times at the primary outputs -------------------------------
   std::vector<double> load(subject.capacity(), 0.0);  // committed loads
@@ -267,6 +283,9 @@ MapResult map_network(const Network& subject, const Library& lib,
   for (const PrimaryOutput& po : subject.pos())
     mn.po_signal.push_back(po.driver);
   mn.check();
+  span.arg("matches", static_cast<unsigned long long>(result.total_matches));
+  span.arg("curve_points",
+           static_cast<unsigned long long>(result.total_curve_points));
   return result;
 }
 

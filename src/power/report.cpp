@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
 namespace minpower {
 
 MappedReport evaluate_mapped(const MappedNetwork& mn,
                              const PowerParams& params) {
+  trace::Span span("eval", "power");
+  span.arg("network", mn.subject->name());
+  span.arg("gates", static_cast<unsigned long long>(mn.gates.size()));
+  metrics::counter("power.evals").add(1);
   const Network& subject = *mn.subject;
   MappedReport rep;
   rep.num_gates = mn.gates.size();

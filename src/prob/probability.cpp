@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/budget.hpp"
 #include "util/rng.hpp"
 
@@ -86,16 +88,23 @@ std::vector<double> signal_probabilities(const Network& net,
                                          ActivityPassStats* stats) {
   if (pi_prob1.empty()) pi_prob1.assign(net.pis().size(), 0.5);
   MP_CHECK(pi_prob1.size() == net.pis().size());
+  trace::Span span("activity", "prob");
+  span.arg("network", net.name());
+  metrics::counter("activity.passes").add(1);
   BddManager mgr;
   const NetworkBdds bdds(mgr, net);
   if (stats) stats->bdd_nodes = mgr.num_nodes();
+  span.arg("bdd_nodes", static_cast<unsigned long long>(mgr.num_nodes()));
   const std::vector<double> by_var = bdds.to_variable_order(pi_prob1);
   std::vector<double> p(net.capacity(), 0.0);
+  std::uint64_t live_nodes = 0;
   for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
     const Node& n = net.node(id);
     if (n.is_dead()) continue;
+    ++live_nodes;
     p[static_cast<std::size_t>(id)] = mgr.probability(bdds.of(id), by_var);
   }
+  metrics::counter("activity.nodes").add(live_nodes);
   return p;
 }
 
@@ -114,6 +123,10 @@ std::vector<double> monte_carlo_activities(const Network& net,
                                            std::vector<double> pi_prob1,
                                            int samples, std::uint64_t seed) {
   MP_CHECK(samples > 0);
+  trace::Span span("mc-activity", "prob");
+  span.arg("network", net.name());
+  span.arg("samples", samples);
+  metrics::counter("activity.mc_passes").add(1);
   const std::size_t n = net.pis().size();
   if (pi_prob1.empty()) pi_prob1.assign(n, 0.5);
   MP_CHECK(pi_prob1.size() == n);

@@ -1,0 +1,26 @@
+#pragma once
+// Out-of-line annotations for the header-only observability layer. Without
+// them every slow path (span recording, registry lookups, JSON export) is
+// inlined into its call sites, interleaving instrumentation bytes with the
+// synthesis hot loops.
+//
+// Two flavors, and the distinction matters:
+//
+//  - MP_TRACE_OUTLINE (`noinline`): for helpers invoked *unconditionally*
+//    from hot functions (registry accessors, span args). Plain noinline
+//    keeps the call site small without biasing the caller.
+//  - MP_TRACE_COLD (`noinline, cold`): only for paths guarded by a branch
+//    that is false in normal runs (span begin/finish when tracing is off,
+//    checkpoint-cache misses) or for one-shot export/reset code. `cold`
+//    moves the body to .text.unlikely and marks the guarding branch
+//    not-taken. Never put it on an unconditional call from hot code: GCC
+//    treats regions dominated by a cold call as cold and size-optimizes the
+//    whole calling function.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MP_TRACE_OUTLINE __attribute__((noinline))
+#define MP_TRACE_COLD __attribute__((noinline, cold))
+#else
+#define MP_TRACE_OUTLINE
+#define MP_TRACE_COLD
+#endif

@@ -1,0 +1,302 @@
+#pragma once
+// RAII span tracer with Chrome trace-event / Perfetto JSON export
+// (DESIGN.md §10).
+//
+//   trace::set_enabled(true);
+//   {
+//     trace::Span s("map", "map");
+//     s.arg("circuit", net.name());
+//     ... work ...
+//   }  // span recorded on scope exit
+//   std::ofstream os("out.trace.json");
+//   trace::write_chrome_trace(os);
+//
+// Cost model: when tracing is off a Span constructor is one relaxed atomic
+// load and a branch — no strings are materialized, no clock is read. When
+// on, each thread appends finished spans to its own buffer (registered once
+// under a mutex, then written lock-free by its owning thread), so there is
+// no cross-thread contention on the hot path.
+//
+// Export contract: call write_chrome_trace()/clear()/num_events() only
+// after the traced worker threads have been joined and all spans have
+// closed (thread join is the synchronization point that makes the buffers
+// safe to read). The FlowEngine joins its pool before returning, so
+// exporting after run_suite() is always safe.
+//
+// The emitted file is the Chrome trace-event JSON object form
+// ({"traceEvents":[...]}): `ph:"X"` complete events carrying ts/dur in
+// microseconds plus pid/tid and an args object, with `ph:"M"` metadata
+// naming the process and threads. Open it at chrome://tracing or
+// https://ui.perfetto.dev.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/cold.hpp"
+#include "util/json_writer.hpp"
+
+namespace minpower::trace {
+
+inline std::atomic<bool> g_enabled{false};
+
+inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+inline void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// One span argument; the value keeps its native type so the exporter can
+/// emit JSON numbers as numbers.
+struct Arg {
+  enum class Kind { kString, kDouble, kInt, kUint };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string s;
+  double d = 0.0;
+  long long i = 0;
+  unsigned long long u = 0;
+};
+
+/// A finished span: times are microseconds since the tracer origin.
+struct Event {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::vector<Arg> args;
+};
+
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+
+  Clock::time_point origin() const { return origin_; }
+
+  MP_TRACE_COLD void record(Event e) {
+    local_buffer().events.push_back(std::move(e));
+  }
+
+  /// Total recorded events; see the export contract above.
+  MP_TRACE_COLD std::size_t num_events() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b->events.size();
+    return n;
+  }
+
+  /// Drop all recorded events (buffers stay registered).
+  MP_TRACE_COLD void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) b->events.clear();
+  }
+
+  /// Emit everything recorded so far as Chrome trace-event JSON.
+  MP_TRACE_COLD void write_chrome_trace(std::ostream& os) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ThreadBuffer*> bufs;
+    for (const auto& b : buffers_) bufs.push_back(b.get());
+    std::sort(bufs.begin(), bufs.end(),
+              [](const ThreadBuffer* a, const ThreadBuffer* b) {
+                return a->tid < b->tid;
+              });
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.begin_array();
+    write_metadata(w, "process_name", /*tid=*/0, "minpower");
+    for (const ThreadBuffer* b : bufs)
+      write_metadata(w, "thread_name", b->tid,
+                     "thread-" + std::to_string(b->tid));
+    for (const ThreadBuffer* b : bufs) {
+      for (const Event& e : b->events) {
+        w.begin_object();
+        w.field("name", e.name);
+        w.field("cat", e.cat);
+        w.field("ph", "X");
+        w.field("ts", static_cast<unsigned long long>(e.ts_us));
+        w.field("dur", static_cast<unsigned long long>(e.dur_us));
+        w.field("pid", kPid);
+        w.field("tid", b->tid);
+        w.key("args");
+        w.begin_object();
+        for (const Arg& a : e.args) {
+          w.key(a.key);
+          switch (a.kind) {
+            case Arg::Kind::kString: w.value(a.s); break;
+            case Arg::Kind::kDouble: w.value(a.d); break;
+            case Arg::Kind::kInt: w.value(a.i); break;
+            case Arg::Kind::kUint: w.value(a.u); break;
+          }
+        }
+        w.end_object();
+        w.end_object();
+      }
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+  }
+
+ private:
+  static constexpr int kPid = 1;
+
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<Event> events;
+  };
+
+  Tracer() : origin_(Clock::now()) {}
+
+  /// The calling thread's buffer, registered on first use. The registry
+  /// holds a shared_ptr so events survive thread exit until export.
+  MP_TRACE_COLD ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buf;
+    if (!buf) {
+      buf = std::make_shared<ThreadBuffer>();
+      std::lock_guard<std::mutex> lock(mu_);
+      buf->tid = next_tid_++;
+      buffers_.push_back(buf);
+    }
+    return *buf;
+  }
+
+  static void write_metadata(JsonWriter& w, const char* name, int tid,
+                             const std::string& value) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("ph", "M");
+    w.field("pid", kPid);
+    w.field("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field("name", value);
+    w.end_object();
+    w.end_object();
+  }
+
+  Clock::time_point origin_;
+  std::mutex mu_;
+  int next_tid_ = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: times the enclosing scope and records a `ph:"X"` event on
+/// destruction. A no-op (one relaxed load, no allocation) when tracing is
+/// disabled; the enabled check happens once, at construction.
+class Span {
+ public:
+  Span(std::string_view name, std::string_view cat) : active_(enabled()) {
+    if (active_) begin(name, cat);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (active_) finish();
+  }
+
+  bool active() const { return active_; }
+
+  MP_TRACE_OUTLINE void arg(std::string_view key, std::string_view value) {
+    if (!active_) return;
+    Arg a;
+    a.key.assign(key.data(), key.size());
+    a.kind = Arg::Kind::kString;
+    a.s.assign(value.data(), value.size());
+    event_.args.push_back(std::move(a));
+  }
+  void arg(std::string_view key, const char* value) {
+    arg(key, std::string_view(value));
+  }
+  void arg(std::string_view key, const std::string& value) {
+    arg(key, std::string_view(value));
+  }
+  MP_TRACE_OUTLINE void arg(std::string_view key, double value) {
+    if (!active_) return;
+    Arg a;
+    a.key.assign(key.data(), key.size());
+    a.kind = Arg::Kind::kDouble;
+    a.d = value;
+    event_.args.push_back(std::move(a));
+  }
+  MP_TRACE_OUTLINE void arg(std::string_view key, long long value) {
+    if (!active_) return;
+    Arg a;
+    a.key.assign(key.data(), key.size());
+    a.kind = Arg::Kind::kInt;
+    a.i = value;
+    event_.args.push_back(std::move(a));
+  }
+  MP_TRACE_OUTLINE void arg(std::string_view key, unsigned long long value) {
+    if (!active_) return;
+    Arg a;
+    a.key.assign(key.data(), key.size());
+    a.kind = Arg::Kind::kUint;
+    a.u = value;
+    event_.args.push_back(std::move(a));
+  }
+  void arg(std::string_view key, int value) {
+    arg(key, static_cast<long long>(value));
+  }
+  void arg(std::string_view key, long value) {
+    arg(key, static_cast<long long>(value));
+  }
+  void arg(std::string_view key, unsigned value) {
+    arg(key, static_cast<unsigned long long>(value));
+  }
+  void arg(std::string_view key, unsigned long value) {
+    arg(key, static_cast<unsigned long long>(value));
+  }
+
+ private:
+  MP_TRACE_COLD void begin(std::string_view name, std::string_view cat) {
+    event_.name.assign(name.data(), name.size());
+    event_.cat.assign(cat.data(), cat.size());
+    start_ = Tracer::Clock::now();
+  }
+
+  MP_TRACE_COLD void finish() {
+    const auto end = Tracer::Clock::now();
+    Tracer& t = Tracer::instance();
+    // Floor both endpoints against the origin and difference them: flooring
+    // is monotonic, so a child span can never appear to outlive its parent
+    // by a truncated microsecond.
+    event_.ts_us = to_us(start_ - t.origin());
+    event_.dur_us = to_us(end - t.origin()) - event_.ts_us;
+    t.record(std::move(event_));
+  }
+
+  static std::uint64_t to_us(Tracer::Clock::duration d) {
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+  }
+
+  bool active_;
+  Tracer::Clock::time_point start_{};
+  Event event_;
+};
+
+inline std::size_t num_events() { return Tracer::instance().num_events(); }
+inline void clear() { Tracer::instance().clear(); }
+inline void write_chrome_trace(std::ostream& os) {
+  Tracer::instance().write_chrome_trace(os);
+}
+
+}  // namespace minpower::trace

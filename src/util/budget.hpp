@@ -28,6 +28,8 @@
 #include <string_view>
 #include <vector>
 
+#include "trace/metrics.hpp"
+
 namespace minpower {
 
 /// Default BddManager node cap (synthesis-sized circuits stay far below).
@@ -192,8 +194,11 @@ class BudgetScope {
   Budget* prev_;
 };
 
-/// Checkpoint against the current budget, if any (no-op otherwise).
+/// Checkpoint against the current budget, if any. Every call also bumps the
+/// per-site metrics counter `budget.checkpoint.<site>` (a progress measure
+/// that is deterministic across thread counts), budget or not.
 inline void budget_checkpoint(const char* site) {
+  metrics::count_checkpoint(site);
   if (Budget* b = Budget::current()) b->checkpoint(site);
 }
 

@@ -17,6 +17,7 @@
 #include "flow/flow_engine.hpp"
 #include "helpers.hpp"
 #include "library/library.hpp"
+#include "trace/metrics.hpp"
 
 namespace minpower {
 namespace {
@@ -33,6 +34,10 @@ void zero_wall_times(std::vector<std::vector<FlowResult>>& per_circuit) {
 
 std::string flow_json_at_threads(unsigned num_threads,
                                  const std::vector<Network>& circuits) {
+  // The flow JSON embeds a snapshot of the (cumulative, global) metrics
+  // registry; zero it per run so the byte comparison also asserts that
+  // every metrics counter is thread-count independent.
+  metrics::Registry::global().reset();
   EngineOptions eo;
   eo.num_threads = num_threads;
   eo.flow.num_threads = num_threads;

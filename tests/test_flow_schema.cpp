@@ -115,6 +115,33 @@ TEST(FlowSchema, RequiredTopLevelFieldsAndTypes) {
     EXPECT_EQ(v->kind, JsonValue::Kind::kNumber) << key;
   }
 
+  const JsonValue* metrics = root.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->kind, JsonValue::Kind::kObject);
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    const JsonValue* arr = metrics->find(key);
+    ASSERT_NE(arr, nullptr) << key;
+    ASSERT_EQ(arr->kind, JsonValue::Kind::kArray) << key;
+    ASSERT_FALSE(arr->items.empty()) << key << " empty after a full flow run";
+    const JsonValue& first = arr->items.front();
+    ASSERT_NE(first.find("name"), nullptr) << key;
+    EXPECT_EQ(first.find("name")->kind, JsonValue::Kind::kString) << key;
+  }
+  // A flow run must have counted BDD work and per-site checkpoints.
+  const JsonValue* counters = metrics->find("counters");
+  bool saw_bdd = false;
+  bool saw_checkpoint = false;
+  for (const JsonValue& c : counters->items) {
+    const std::string& name = c.find("name")->string;
+    if (name == "bdd.unique_lookups" && c.find("value")->number > 0)
+      saw_bdd = true;
+    if (name.rfind("budget.checkpoint.", 0) == 0 &&
+        c.find("value")->number > 0)
+      saw_checkpoint = true;
+  }
+  EXPECT_TRUE(saw_bdd) << "bdd.unique_lookups missing or zero";
+  EXPECT_TRUE(saw_checkpoint) << "no budget.checkpoint.* counter recorded";
+
   const JsonValue* circuits = root.find("circuits");
   ASSERT_NE(circuits, nullptr);
   ASSERT_EQ(circuits->kind, JsonValue::Kind::kArray);

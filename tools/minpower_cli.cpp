@@ -11,8 +11,10 @@
 //                                                  full flow + mapping report
 //   minpower flow   <in.blif>... [--genlib lib.genlib] [--threads N]
 //                   [--json out.json] [--deadline-ms T] [--bdd-limit N]
+//                   [--trace out.trace.json] [--verbose]
 //                                                  run Methods I–VI per circuit,
-//                                                  print table (+ JSON)
+//                                                  print table (+ JSON, + Chrome
+//                                                  trace for chrome://tracing)
 //   minpower verify [--seed N] [--count N] [--json out.json]
 //                                                  differential verification
 //                                                  harness (seeded oracles)
@@ -48,6 +50,7 @@
 #include "power/simulate.hpp"
 #include "prob/sequential.hpp"
 #include "sop/factor.hpp"
+#include "trace/trace.hpp"
 #include "util/strings.hpp"
 #include "verify/verify.hpp"
 
@@ -74,6 +77,8 @@ struct Args {
   int count = 200;
   double deadline_ms = 0.0;
   std::size_t bdd_limit = 0;  // 0 → library default
+  std::optional<std::string> trace;
+  bool verbose = false;
 };
 
 /// Fatal usage / input problems throw; main() turns them into exit code 1.
@@ -104,6 +109,8 @@ Args parse_args(int argc, char** argv, int first) {
       a.deadline_ms = std::stod(value("--deadline-ms"));
     else if (arg == "--bdd-limit")
       a.bdd_limit = std::stoull(value("--bdd-limit"));
+    else if (arg == "--trace") a.trace = value("--trace");
+    else if (arg == "--verbose") a.verbose = true;
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -283,15 +290,33 @@ int cmd_flow(const Args& a) {
   EngineOptions eo;
   eo.num_threads = a.threads;
   eo.flow.task_deadline_ms = a.deadline_ms;
+  eo.verbose = a.verbose;
   if (a.bdd_limit != 0) eo.flow.bdd_node_limit = a.bdd_limit;
   FlowEngine engine(lib, eo);
+  if (a.trace) trace::set_enabled(true);
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<std::vector<FlowResult>> per_circuit =
-      engine.run_suite(circuits);
+  std::vector<std::vector<FlowResult>> per_circuit;
+  {
+    trace::Span flow_span("flow", "cli");
+    flow_span.arg("circuits", static_cast<unsigned long long>(nets.size()));
+    flow_span.arg("threads", engine.effective_threads());
+    per_circuit = engine.run_suite(circuits);
+  }
   const double elapsed_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  if (a.trace) {
+    // All spans are closed and the pool is joined; export is safe now.
+    trace::set_enabled(false);
+    std::ofstream tos(*a.trace);
+    if (!tos.good()) fatal("cannot open trace output file " + *a.trace);
+    trace::write_chrome_trace(tos);
+    std::fprintf(stderr,
+                 "trace: %zu events -> %s (open in chrome://tracing or "
+                 "ui.perfetto.dev)\n",
+                 trace::num_events(), a.trace->c_str());
+  }
 
   std::printf("%-10s %-8s %8s %8s %10s %7s %-9s\n", "circuit", "method",
               "area", "delay", "power", "gates", "status");
