@@ -8,13 +8,17 @@
 //   bench_flow [out.json] [max_circuits] [num_threads]
 //
 // Defaults: BENCH_flow.json, the full suite, hardware concurrency.
+// max_circuits must be ≥ 1 (a prefix of the 17-circuit suite);
+// num_threads must be a non-negative integer (0 = hardware concurrency).
 // Set MINPOWER_TRACE=<file> to also record a Chrome trace of the run
 // (chrome://tracing / ui.perfetto.dev); the JSON report always carries the
 // metrics-registry snapshot in its `metrics` block.
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #include "bench_util.hpp"
@@ -24,12 +28,64 @@
 
 using namespace minpower;
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: bench_flow [out.json] [max_circuits] [num_threads]\n"
+    "  out.json      report path (minpower.flow.v1; default BENCH_flow.json)\n"
+    "  max_circuits  suite prefix to run, >= 1 (default: all 17)\n"
+    "  num_threads   worker threads, 0 = hardware concurrency (default 0)\n"
+    "env: MINPOWER_TRACE=<file> records a Chrome trace of the run\n";
+
+/// Strict decimal parse: the whole argument must be digits (no sign, no
+/// whitespace, no trailing garbage), unlike atoi which silently maps junk
+/// to 0 and strtoull which accepts "-1" and " +5".
+bool parse_u64(const char* arg, std::uint64_t* out) {
+  if (arg[0] == '\0') return false;
+  for (const char* p = arg; *p != '\0'; ++p)
+    if (*p < '0' || *p > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (errno != 0 || end != arg + std::strlen(arg)) return false;
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "bench_flow: %s\n%s", message.c_str(), kUsage);
+  std::exit(1);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+  if (argc > 4) usage_error("too many arguments");
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_flow.json";
-  const std::size_t max_circuits =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : SIZE_MAX;
-  const unsigned threads =
-      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
+  std::size_t max_circuits = SIZE_MAX;
+  if (argc > 2) {
+    std::uint64_t v = 0;
+    if (!parse_u64(argv[2], &v))
+      usage_error(std::string("max_circuits must be a non-negative integer, "
+                              "got '") +
+                  argv[2] + "'");
+    if (v == 0) usage_error("max_circuits must be >= 1");
+    max_circuits = static_cast<std::size_t>(v);
+  }
+  unsigned threads = 0;
+  if (argc > 3) {
+    std::uint64_t v = 0;
+    if (!parse_u64(argv[3], &v) || v > 1u << 16)
+      usage_error(std::string("num_threads must be an integer in [0, 65536], "
+                              "got '") +
+                  argv[3] + "'");
+    threads = static_cast<unsigned>(v);
+  }
 
   std::vector<Network> suite = bench::prepared_suite();
   if (suite.size() > max_circuits) suite.resize(max_circuits);

@@ -1,0 +1,485 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+
+namespace minpower::trace {
+
+namespace {
+
+/// Decomposition group of an engine method label ("I".."VI"); mirrors
+/// flow_engine.cpp's group_of. Returns -1 for anything unrecognized.
+int group_of_method(const std::string& m) {
+  if (m == "I" || m == "IV") return 0;
+  if (m == "II" || m == "V") return 1;
+  if (m == "III" || m == "VI") return 2;
+  return -1;
+}
+
+std::uint64_t to_u64(double d) {
+  return d > 0.0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+/// Exact q-quantile of an ascending sample vector (nearest-rank).
+std::uint64_t quantile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+WaitStats wait_stats(std::vector<std::uint64_t> samples) {
+  WaitStats w;
+  if (samples.empty()) return w;
+  std::sort(samples.begin(), samples.end());
+  w.count = samples.size();
+  w.min_us = samples.front();
+  w.max_us = samples.back();
+  std::uint64_t sum = 0;
+  for (const std::uint64_t s : samples) sum += s;
+  w.mean_us = static_cast<double>(sum) / static_cast<double>(samples.size());
+  w.p50_us = quantile(samples, 0.50);
+  w.p90_us = quantile(samples, 0.90);
+  w.p99_us = quantile(samples, 0.99);
+  return w;
+}
+
+bool extract_event(const JsonValue& ev, SpanRecord* out, std::string* error) {
+  const JsonValue* name = ev.find("name");
+  const JsonValue* ts = ev.find("ts");
+  const JsonValue* dur = ev.find("dur");
+  const JsonValue* tid = ev.find("tid");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+      ts == nullptr || ts->kind != JsonValue::Kind::kNumber || dur == nullptr ||
+      dur->kind != JsonValue::Kind::kNumber || tid == nullptr ||
+      tid->kind != JsonValue::Kind::kNumber) {
+    *error = "complete event missing name/ts/dur/tid";
+    return false;
+  }
+  out->name = name->string;
+  if (const JsonValue* cat = ev.find("cat");
+      cat != nullptr && cat->kind == JsonValue::Kind::kString)
+    out->cat = cat->string;
+  out->ts_us = to_u64(ts->number);
+  out->dur_us = to_u64(dur->number);
+  out->tid = static_cast<int>(tid->number);
+  if (const JsonValue* args = ev.find("args");
+      args != nullptr && args->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, v] : args->members) {
+      if (v.kind == JsonValue::Kind::kString)
+        out->str_args.emplace_back(key, v.string);
+      else if (v.kind == JsonValue::Kind::kNumber)
+        out->num_args.emplace_back(key, v.number);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* SpanRecord::find_str(std::string_view key) const {
+  for (const auto& [k, v] : str_args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const double* SpanRecord::find_num(std::string_view key) const {
+  for (const auto& [k, v] : num_args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool analyze_chrome_trace(std::string_view json, TraceProfile* out,
+                          std::string* error) {
+  *out = TraceProfile{};
+  std::string parse_error;
+  const auto doc = parse_json(json, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  const JsonValue* events = doc->kind == JsonValue::Kind::kObject
+                                ? doc->find("traceEvents")
+                                : nullptr;
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "no traceEvents array in the document";
+    return false;
+  }
+
+  std::vector<SpanRecord> raw;
+  for (const JsonValue& ev : events->items) {
+    if (ev.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;  // metadata etc.
+    SpanRecord s;
+    std::string ev_error;
+    if (!extract_event(ev, &s, &ev_error)) {
+      if (error != nullptr) *error = ev_error;
+      return false;
+    }
+    raw.push_back(std::move(s));
+  }
+
+  // Rebuild the forest per thread: sort by (start, −duration) so a parent
+  // precedes the children it contains, then nest with an open-span stack.
+  std::map<int, std::vector<std::size_t>> by_tid;
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    by_tid[raw[i].tid].push_back(i);
+
+  out->num_events = raw.size();
+  out->spans.reserve(raw.size());
+  std::uint64_t min_ts = UINT64_MAX;
+  std::uint64_t max_end = 0;
+
+  for (auto& [tid, indices] : by_tid) {
+    std::sort(indices.begin(), indices.end(),
+              [&raw](std::size_t a, std::size_t b) {
+                if (raw[a].ts_us != raw[b].ts_us)
+                  return raw[a].ts_us < raw[b].ts_us;
+                if (raw[a].dur_us != raw[b].dur_us)
+                  return raw[a].dur_us > raw[b].dur_us;
+                return a < b;
+              });
+    ThreadTotals tt;
+    tt.tid = tid;
+    tt.first_ts_us = UINT64_MAX;
+    std::vector<int> stack;  // indices into out->spans
+    for (const std::size_t ri : indices) {
+      SpanRecord s = std::move(raw[ri]);
+      const std::uint64_t end = s.ts_us + s.dur_us;
+      while (!stack.empty()) {
+        const SpanRecord& top = out->spans[static_cast<std::size_t>(
+            stack.back())];
+        if (s.ts_us < top.ts_us + top.dur_us && end <= top.ts_us + top.dur_us)
+          break;  // contained: top is the parent
+        stack.pop_back();
+      }
+      s.self_us = s.dur_us;
+      if (!stack.empty()) {
+        s.parent = stack.back();
+        s.depth = out->spans[static_cast<std::size_t>(s.parent)].depth + 1;
+        SpanRecord& parent = out->spans[static_cast<std::size_t>(s.parent)];
+        // Direct-child time comes off the parent's self time. Containment
+        // plus per-thread sequencing guarantees this never underflows.
+        parent.self_us -= std::min(parent.self_us, s.dur_us);
+      } else {
+        tt.busy_us += s.dur_us;
+      }
+      tt.events += 1;
+      tt.first_ts_us = std::min(tt.first_ts_us, s.ts_us);
+      tt.last_end_us = std::max(tt.last_end_us, end);
+      min_ts = std::min(min_ts, s.ts_us);
+      max_end = std::max(max_end, end);
+      const int index = static_cast<int>(out->spans.size());
+      out->spans.push_back(std::move(s));
+      stack.push_back(index);
+    }
+    if (tt.first_ts_us == UINT64_MAX) tt.first_ts_us = 0;
+    for (std::size_t i = out->spans.size() - tt.events; i < out->spans.size();
+         ++i)
+      tt.self_us += out->spans[i].self_us;
+    out->threads.push_back(tt);
+  }
+  out->wall_us = max_end >= min_ts && min_ts != UINT64_MAX ? max_end - min_ts
+                                                           : 0;
+
+  // Per-phase aggregation over (name, cat).
+  std::map<std::pair<std::string, std::string>, PhaseTotals> phases;
+  for (const SpanRecord& s : out->spans) {
+    PhaseTotals& p = phases[{s.name, s.cat}];
+    if (p.count == 0) {
+      p.name = s.name;
+      p.cat = s.cat;
+      p.min_us = s.dur_us;
+    }
+    p.count += 1;
+    p.total_us += s.dur_us;
+    p.self_us += s.self_us;
+    p.min_us = std::min(p.min_us, s.dur_us);
+    p.max_us = std::max(p.max_us, s.dur_us);
+  }
+  for (auto& [key, p] : phases) out->phases.push_back(std::move(p));
+  std::sort(out->phases.begin(), out->phases.end(),
+            [](const PhaseTotals& a, const PhaseTotals& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+
+  // Engine-stage analysis: queue waits + critical path.
+  std::vector<std::uint64_t> wait1;
+  std::vector<std::uint64_t> wait2;
+  std::map<std::pair<std::string, int>, const SpanRecord*> stage1;  // ×group
+  std::vector<const SpanRecord*> stage2;
+  for (const SpanRecord& s : out->spans) {
+    if (s.cat != "engine") continue;
+    if (s.name == "stage1") {
+      if (const double* w = s.find_num("queue_wait_us"))
+        wait1.push_back(to_u64(*w));
+      const std::string* circuit = s.find_str("circuit");
+      const double* group = s.find_num("group");
+      if (circuit != nullptr && group != nullptr) {
+        // Keep the slowest attempt if a (circuit, group) repeats (e.g. two
+        // run_suite calls in one trace) — conservative for the path.
+        const SpanRecord*& slot =
+            stage1[{*circuit, static_cast<int>(*group)}];
+        if (slot == nullptr || s.dur_us > slot->dur_us) slot = &s;
+      }
+    } else if (s.name == "stage2") {
+      if (const double* w = s.find_num("queue_wait_us"))
+        wait2.push_back(to_u64(*w));
+      stage2.push_back(&s);
+    }
+  }
+  out->stage1_wait = wait_stats(std::move(wait1));
+  out->stage2_wait = wait_stats(std::move(wait2));
+
+  auto label_of = [](const SpanRecord& s) {
+    const std::string* task = s.find_str("task");
+    return task != nullptr ? *task : s.name;
+  };
+  if (!stage1.empty() || !stage2.empty()) {
+    CriticalPath& cp = out->critical;
+    cp.available = true;
+    const SpanRecord* worst1 = nullptr;
+    for (const auto& [key, s] : stage1)
+      if (worst1 == nullptr || s->dur_us > worst1->dur_us) worst1 = s;
+    const SpanRecord* worst2 = nullptr;
+    for (const SpanRecord* s : stage2)
+      if (worst2 == nullptr || s->dur_us > worst2->dur_us) worst2 = s;
+    if (worst1 != nullptr) {
+      cp.barrier_chain.push_back({"stage1", label_of(*worst1),
+                                  worst1->dur_us});
+      cp.barrier_us += worst1->dur_us;
+    }
+    if (worst2 != nullptr) {
+      cp.barrier_chain.push_back({"stage2", label_of(*worst2),
+                                  worst2->dur_us});
+      cp.barrier_us += worst2->dur_us;
+    }
+    // Dependency model: chain each stage-2 task to its own circuit's
+    // stage-1 group only.
+    for (const SpanRecord* s2 : stage2) {
+      const std::string* circuit = s2->find_str("circuit");
+      const std::string* method = s2->find_str("method");
+      std::uint64_t chain = s2->dur_us;
+      const SpanRecord* dep = nullptr;
+      if (circuit != nullptr && method != nullptr) {
+        const int g = group_of_method(*method);
+        const auto it = g >= 0 ? stage1.find({*circuit, g}) : stage1.end();
+        if (it != stage1.end()) {
+          dep = it->second;
+          chain += dep->dur_us;
+        }
+      }
+      if (chain > cp.dependency_us) {
+        cp.dependency_us = chain;
+        cp.dependency_chain.clear();
+        if (dep != nullptr)
+          cp.dependency_chain.push_back({"stage1", label_of(*dep),
+                                         dep->dur_us});
+        cp.dependency_chain.push_back({"stage2", label_of(*s2), s2->dur_us});
+      }
+    }
+    // A stage-1-only trace (no stage 2 ran): its path is the slowest task.
+    if (stage2.empty() && worst1 != nullptr) {
+      cp.dependency_us = worst1->dur_us;
+      cp.dependency_chain = {{"stage1", label_of(*worst1), worst1->dur_us}};
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void write_phase_row(JsonWriter& w, const PhaseTotals& p) {
+  w.begin_object();
+  w.field("name", p.name);
+  w.field("cat", p.cat);
+  w.field("count", p.count);
+  w.field("total_us", p.total_us);
+  w.field("self_us", p.self_us);
+  w.field("min_us", p.min_us);
+  w.field("max_us", p.max_us);
+  w.field("mean_us",
+          p.count ? static_cast<double>(p.total_us) /
+                        static_cast<double>(p.count)
+                  : 0.0);
+  w.end_object();
+}
+
+void write_wait(JsonWriter& w, const char* key, const WaitStats& s) {
+  w.key(key);
+  w.begin_object();
+  w.field("count", s.count);
+  w.field("min_us", s.min_us);
+  w.field("mean_us", s.mean_us);
+  w.field("p50_us", s.p50_us);
+  w.field("p90_us", s.p90_us);
+  w.field("p99_us", s.p99_us);
+  w.field("max_us", s.max_us);
+  w.end_object();
+}
+
+void write_chain(JsonWriter& w, const char* key,
+                 const std::vector<PathStep>& chain) {
+  w.key(key);
+  w.begin_array();
+  for (const PathStep& step : chain) {
+    w.begin_object();
+    w.field("stage", step.stage);
+    w.field("task", step.task);
+    w.field("dur_us", step.dur_us);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+double ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
+
+}  // namespace
+
+void write_profile_json(std::ostream& os, const TraceProfile& p,
+                        const std::string& source, int top_n) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "minpower.profile.v1");
+  w.field("source", source);
+  w.field("num_events", static_cast<unsigned long long>(p.num_events));
+  w.field("wall_us", p.wall_us);
+  w.field("num_threads", static_cast<unsigned long long>(p.threads.size()));
+  w.key("phases");
+  w.begin_array();
+  for (const PhaseTotals& ph : p.phases) write_phase_row(w, ph);
+  w.end_array();
+  w.key("hotspots");
+  w.begin_array();
+  for (std::size_t i = 0;
+       i < p.phases.size() && i < static_cast<std::size_t>(top_n); ++i)
+    write_phase_row(w, p.phases[i]);
+  w.end_array();
+  w.key("threads");
+  w.begin_array();
+  for (const ThreadTotals& t : p.threads) {
+    w.begin_object();
+    w.field("tid", t.tid);
+    w.field("events", t.events);
+    w.field("busy_us", t.busy_us);
+    w.field("self_us", t.self_us);
+    w.field("first_ts_us", t.first_ts_us);
+    w.field("last_end_us", t.last_end_us);
+    w.field("wall_us", t.wall_us());
+    w.field("utilization",
+            p.wall_us ? static_cast<double>(t.busy_us) /
+                            static_cast<double>(p.wall_us)
+                      : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("queue_wait");
+  w.begin_object();
+  write_wait(w, "stage1", p.stage1_wait);
+  write_wait(w, "stage2", p.stage2_wait);
+  w.end_object();
+  w.key("critical_path");
+  w.begin_object();
+  w.field("available", p.critical.available);
+  w.field("barrier_us", p.critical.barrier_us);
+  write_chain(w, "barrier_chain", p.critical.barrier_chain);
+  w.field("dependency_us", p.critical.dependency_us);
+  write_chain(w, "dependency_chain", p.critical.dependency_chain);
+  w.field("barrier_slack_us",
+          p.critical.barrier_us > p.critical.dependency_us
+              ? p.critical.barrier_us - p.critical.dependency_us
+              : 0);
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void print_profile(std::ostream& os, const TraceProfile& p, int top_n) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace: %zu spans on %zu threads, wall %.3f ms\n",
+                p.num_events, p.threads.size(), ms(p.wall_us));
+  os << buf;
+  if (p.spans.empty()) return;
+
+  std::snprintf(buf, sizeof(buf),
+                "\n%-12s %-8s %6s %12s %12s %10s %10s %8s\n", "phase", "cat",
+                "count", "total ms", "self ms", "min ms", "max ms", "self %");
+  os << buf;
+  os << std::string(86, '-') << '\n';
+  std::uint64_t self_sum = 0;
+  for (const PhaseTotals& ph : p.phases) self_sum += ph.self_us;
+  int rows = 0;
+  for (const PhaseTotals& ph : p.phases) {
+    if (rows++ >= top_n) break;
+    std::snprintf(buf, sizeof(buf),
+                  "%-12s %-8s %6llu %12.3f %12.3f %10.3f %10.3f %7.1f%%\n",
+                  ph.name.c_str(), ph.cat.c_str(),
+                  static_cast<unsigned long long>(ph.count), ms(ph.total_us),
+                  ms(ph.self_us), ms(ph.min_us), ms(ph.max_us),
+                  self_sum ? 100.0 * static_cast<double>(ph.self_us) /
+                                 static_cast<double>(self_sum)
+                           : 0.0);
+    os << buf;
+  }
+  if (p.phases.size() > static_cast<std::size_t>(top_n)) {
+    std::snprintf(buf, sizeof(buf), "(%zu more phases; see --json)\n",
+                  p.phases.size() - static_cast<std::size_t>(top_n));
+    os << buf;
+  }
+
+  os << "\nthread   events    busy ms    self ms  utilization\n";
+  os << std::string(52, '-') << '\n';
+  for (const ThreadTotals& t : p.threads) {
+    std::snprintf(buf, sizeof(buf), "%-8d %6llu %10.3f %10.3f %11.1f%%\n",
+                  t.tid, static_cast<unsigned long long>(t.events),
+                  ms(t.busy_us), ms(t.self_us),
+                  p.wall_us ? 100.0 * static_cast<double>(t.busy_us) /
+                                  static_cast<double>(p.wall_us)
+                            : 0.0);
+    os << buf;
+  }
+
+  auto print_wait = [&](const char* stage, const WaitStats& s) {
+    if (s.count == 0) return;
+    std::snprintf(buf, sizeof(buf),
+                  "%s queue wait: n=%llu mean=%.3f ms p50=%.3f p90=%.3f "
+                  "p99=%.3f max=%.3f\n",
+                  stage, static_cast<unsigned long long>(s.count),
+                  s.mean_us / 1000.0, ms(s.p50_us), ms(s.p90_us), ms(s.p99_us),
+                  ms(s.max_us));
+    os << buf;
+  };
+  os << '\n';
+  print_wait("stage1", p.stage1_wait);
+  print_wait("stage2", p.stage2_wait);
+
+  if (p.critical.available) {
+    os << "\ncritical path (barrier schedule):\n";
+    for (const PathStep& step : p.critical.barrier_chain) {
+      std::snprintf(buf, sizeof(buf), "  %-7s %-24s %10.3f ms\n",
+                    step.stage.c_str(), step.task.c_str(), ms(step.dur_us));
+      os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  total %.3f ms  (dependency-only bound %.3f ms, barrier "
+                  "slack %.3f ms)\n",
+                  ms(p.critical.barrier_us), ms(p.critical.dependency_us),
+                  ms(p.critical.barrier_us > p.critical.dependency_us
+                         ? p.critical.barrier_us - p.critical.dependency_us
+                         : 0));
+    os << buf;
+  }
+}
+
+}  // namespace minpower::trace

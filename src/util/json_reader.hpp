@@ -1,10 +1,12 @@
 #pragma once
-// Minimal JSON parser for validating the tool's own machine-readable output
-// (the minpower.flow.v1 / minpower.verify.v1 reports) in tests. Supports the
-// full JSON value grammar the JsonWriter can emit: objects, arrays, strings
-// with escapes, numbers, booleans, null. Not a general-purpose parser — no
-// \uXXXX surrogate handling beyond pass-through, and practical depth/size
-// limits — but strict about everything it does accept.
+// Minimal JSON parser for the tool's own machine-readable formats: the
+// minpower.flow.v1 / minpower.verify.v1 reports, the Chrome trace-event
+// files the span tracer exports, and the profile/compare documents built on
+// top of them. Supports the full JSON value grammar: objects, arrays,
+// strings with escapes (\uXXXX decoded to UTF-8, surrogate pairs paired),
+// numbers in negative and exponent form, booleans, null. Practical depth
+// limits apply, and it is strict about everything it accepts: bad escapes,
+// unpaired surrogates, malformed numbers, and trailing garbage are errors.
 
 #include <cctype>
 #include <cstdlib>
@@ -113,11 +115,23 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size())
-              return set_error("truncated \\u escape");
-            out += "\\u";  // pass through, enough for schema checks
-            out += std::string(text_.substr(pos_, 4));
-            pos_ += 4;
+            unsigned cp = 0;
+            if (!parse_hex4(cp)) return false;
+            if (cp >= 0xDC00 && cp <= 0xDFFF)
+              return set_error("unpaired low surrogate in \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: a \uDC00–\uDFFF low half must follow.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u')
+                return set_error("unpaired high surrogate in \\u escape");
+              pos_ += 2;
+              unsigned lo = 0;
+              if (!parse_hex4(lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF)
+                return set_error("unpaired high surrogate in \\u escape");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(out, cp);
             break;
           }
           default:
@@ -128,6 +142,40 @@ class Parser {
       }
     }
     return set_error("unterminated string");
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return set_error("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+      else return set_error("invalid hex digit in \\u escape");
+      out = (out << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
   }
 
   bool parse_value(JsonValue& out, int depth) {
@@ -161,12 +209,16 @@ class Parser {
   bool parse_number(JsonValue& out) {
     const std::size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // JSON requires a digit after the optional sign ("+5", ".5", "-" alone
+    // and bare words are all invalid); strtod below is laxer, so gate here.
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      return set_error("invalid value");
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-'))
       ++pos_;
-    if (pos_ == start) return set_error("invalid value");
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
     out.number = std::strtod(token.c_str(), &end);

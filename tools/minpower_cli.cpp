@@ -20,12 +20,25 @@
 //                                                  harness (seeded oracles)
 //   minpower verify <a.blif> <b.blif>              combinational equivalence
 //   minpower bench  <name> [-o out.blif]           emit a suite circuit
+//   minpower profile <trace.json> [--json out.json] [--top N]
+//                                                  trace profiler: hotspots,
+//                                                  thread utilization,
+//                                                  critical path
+//                                                  (minpower.profile.v1)
+//   minpower compare <baseline.json> <candidate.json>
+//                   [--json out.json] [--qor-rel-tol X] [--qor-abs-tol X]
+//                   [--time-band F] [--require-all]
+//                                                  QoR/perf regression gate
+//                                                  over two minpower.flow.v1
+//                                                  reports
+//                                                  (minpower.compare.v1)
 //
 // Every subcommand reads plain BLIF; `map -o` writes the SIS .gate dialect.
 //
 // Exit codes: 0 = success; 2 = completed with partial/degraded results
 // (some flow tasks degraded or failed, or verification found failures);
-// 1 = fatal error (bad usage, unreadable input, internal error).
+// 3 = `compare` found a regression; 1 = fatal error (bad usage, unreadable
+// input, internal error).
 
 #include <chrono>
 #include <cstdio>
@@ -33,6 +46,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -49,7 +63,9 @@
 #include "power/resize.hpp"
 #include "power/simulate.hpp"
 #include "prob/sequential.hpp"
+#include "report/baseline.hpp"
 #include "sop/factor.hpp"
+#include "trace/analysis.hpp"
 #include "trace/trace.hpp"
 #include "util/strings.hpp"
 #include "verify/verify.hpp"
@@ -79,6 +95,11 @@ struct Args {
   std::size_t bdd_limit = 0;  // 0 → library default
   std::optional<std::string> trace;
   bool verbose = false;
+  int top = 10;               // profile hotspot rows
+  double qor_rel_tol = 0.0;   // compare: exact QoR lock by default
+  double qor_abs_tol = 0.0;
+  double time_band = 0.20;    // compare: allowed slowdown (+20%)
+  bool require_all = false;   // compare: missing cells are regressions
 };
 
 /// Fatal usage / input problems throw; main() turns them into exit code 1.
@@ -111,6 +132,14 @@ Args parse_args(int argc, char** argv, int first) {
       a.bdd_limit = std::stoull(value("--bdd-limit"));
     else if (arg == "--trace") a.trace = value("--trace");
     else if (arg == "--verbose") a.verbose = true;
+    else if (arg == "--top") a.top = std::stoi(value("--top"));
+    else if (arg == "--qor-rel-tol")
+      a.qor_rel_tol = std::stod(value("--qor-rel-tol"));
+    else if (arg == "--qor-abs-tol")
+      a.qor_abs_tol = std::stod(value("--qor-abs-tol"));
+    else if (arg == "--time-band")
+      a.time_band = std::stod(value("--time-band"));
+    else if (arg == "--require-all") a.require_all = true;
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -408,13 +437,64 @@ int cmd_bench(const Args& a) {
   return 0;
 }
 
+std::string slurp(const std::string& path, const char* what) {
+  std::ifstream in(path);
+  if (!in.good()) fatal(std::string("cannot open ") + what + " " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int cmd_profile(const Args& a) {
+  if (a.positional.size() != 1) fatal("profile needs exactly one trace file");
+  const std::string& path = a.positional.front();
+  trace::TraceProfile profile;
+  std::string error;
+  if (!trace::analyze_chrome_trace(slurp(path, "trace file"), &profile,
+                                   &error))
+    fatal(path + ": " + error);
+  const int top = a.top > 0 ? a.top : 1;
+  trace::print_profile(std::cout, profile, top);
+  if (a.json) {
+    std::ofstream out(*a.json);
+    if (!out.good()) fatal("cannot open JSON output file " + *a.json);
+    trace::write_profile_json(out, profile, path, top);
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& a) {
+  if (a.positional.size() != 2)
+    fatal("compare needs <baseline.json> <candidate.json>");
+  report::FlowReportDoc base;
+  report::FlowReportDoc cand;
+  std::string error;
+  if (!report::load_flow_report_file(a.positional.at(0), &base, &error))
+    fatal(error);
+  if (!report::load_flow_report_file(a.positional.at(1), &cand, &error))
+    fatal(error);
+  report::CompareOptions o;
+  o.qor_rel_tol = a.qor_rel_tol;
+  o.qor_abs_tol = a.qor_abs_tol;
+  o.time_band = a.time_band;
+  o.require_all = a.require_all;
+  const report::CompareReport r = report::compare_flow_reports(base, cand, o);
+  report::print_compare(std::cout, r);
+  if (a.json) {
+    std::ofstream out(*a.json);
+    if (!out.good()) fatal("cannot open JSON output file " + *a.json);
+    report::write_compare_json(out, r);
+  }
+  return r.regression() ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: minpower <stats|opt|decomp|map|flow|verify|bench> "
-                 "...\n");
+                 "usage: minpower <stats|opt|decomp|map|flow|verify|bench|"
+                 "profile|compare> ...\n");
     return 1;
   }
   try {
@@ -427,6 +507,8 @@ int main(int argc, char** argv) {
     if (cmd == "flow") return cmd_flow(a);
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "bench") return cmd_bench(a);
+    if (cmd == "profile") return cmd_profile(a);
+    if (cmd == "compare") return cmd_compare(a);
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     return 1;
   } catch (const std::exception& e) {
