@@ -6,11 +6,31 @@
 // equivalence checking of synthesis transformations in the test suite.
 //
 // The implementation is a classic hash-consed ROBDD without complement
-// edges: a unique table guarantees canonicity, an ITE computed table caches
+// edges: a unique table guarantees canonicity, a computed table caches
 // subresults. Variable order is the creation order of variables.
+//
+// Engine layout (DESIGN.md §12 "BDD engine internals"):
+//   - Unique table: open-addressed, power-of-two, linear probing. Slots hold
+//     node ids only; keys are read back from the dense node array, so a probe
+//     is one indexed load plus a triple compare. Growth rebuilds the slot
+//     array from the node vector at ~0.7 load.
+//   - Computed table: lossy direct-mapped cache of tagged (op, f, g, h)
+//     entries under a fixed byte budget; it grows geometrically toward the
+//     budget and then overwrites on collision, CUDD-style.
+//   - Canonical ITE: terminal and normalization rules (ite(f,f,h)→ite(f,1,h),
+//     ite(f,g,f)→ite(f,g,0), commutative AND/OR argument reordering,
+//     ite(f,0,1) through a dedicated complement memo, XNOR triples routed to
+//     a one-call XOR) so equivalent triples share one computed-table entry.
+//   - Traversals (probability, support, dag_size, cofactor) use dense
+//     epoch-stamped scratch arrays indexed by BddRef — refs are dense vector
+//     indices, so hashing them is pure waste.
+//
+// All normalizations preserve ROBDD canonicity: the same Boolean function
+// always maps to the same node, so results are bit-identical to the
+// pre-overhaul engine (locked by `minpower compare` against the committed
+// baseline).
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/budget.hpp"
@@ -31,11 +51,12 @@ class BddManager {
   explicit BddManager(std::size_t node_limit = kDefaultBddNodeLimit);
 
   /// Flushes this manager's operation counts into the global metrics
-  /// registry (bdd.unique_lookups, bdd.ite_calls, bdd.ite_cache_hits, the
-  /// bdd.unique_table_peak gauge, and the bdd.final_nodes histogram). The
-  /// hot loops accumulate in plain members so per-operation instrumentation
-  /// cost is zero; the one-time flush also runs on exception unwind, so a
-  /// blown node budget still reports its work.
+  /// registry (bdd.unique_lookups, bdd.ite_calls, bdd.ite_cache_hits,
+  /// bdd.not_calls, bdd.not_cache_hits, the bdd.unique_table_peak gauge,
+  /// and the bdd.final_nodes histogram). The hot loops accumulate in plain
+  /// members so per-operation instrumentation cost is zero; the one-time
+  /// flush also runs on exception unwind, so a blown node budget still
+  /// reports its work.
   ~BddManager();
 
   BddManager(const BddManager&) = delete;
@@ -48,14 +69,20 @@ class BddManager {
   BddRef var(int index);
   int num_vars() const { return num_vars_; }
 
-  BddRef not_(BddRef f) { return ite(f, kFalse, kTrue); }
+  /// Complement, memoized densely by ref in both directions (¬ is an
+  /// involution). Linear in the result DAG on first computation, O(1) after.
+  BddRef not_(BddRef f);
   BddRef and_(BddRef f, BddRef g) { return ite(f, g, kFalse); }
   BddRef or_(BddRef f, BddRef g) { return ite(f, kTrue, g); }
-  BddRef xor_(BddRef f, BddRef g) { return ite(f, not_(g), g); }
+  /// One-call XOR through its own tagged computed-table op (no intermediate
+  /// complement BDD as the old ite(f, ¬g, g) formulation built).
+  BddRef xor_(BddRef f, BddRef g);
   BddRef nand_(BddRef f, BddRef g) { return not_(and_(f, g)); }
   BddRef ite(BddRef f, BddRef g, BddRef h);
 
   /// Shannon cofactor with respect to variable `var` fixed to `value`.
+  /// Memoized per call through a dense epoch-stamped table, so shared
+  /// subgraphs are expanded once (linear in |BDD|, not exponential).
   BddRef cofactor(BddRef f, int var, bool value);
 
   bool is_const(BddRef f) const { return f <= kTrue; }
@@ -70,6 +97,13 @@ class BddManager {
   /// with probability `p1[v]` (the Eq. 2 linear traversal; O(|BDD|)).
   double probability(BddRef f, const std::vector<double>& p1) const;
 
+  /// Batch form of `probability`: evaluates every ref against the same `p1`
+  /// sharing one memo across the whole batch, so subgraphs common to many
+  /// roots (the per-node activity pass) are traversed once, not per root.
+  /// Each value is bit-identical to the corresponding single-ref call.
+  std::vector<double> probabilities(const std::vector<BddRef>& fs,
+                                    const std::vector<double>& p1) const;
+
   /// Variables in the support of f.
   std::vector<int> support(BddRef f) const;
 
@@ -78,8 +112,16 @@ class BddManager {
 
   std::size_t num_nodes() const { return nodes_.size(); }
 
-  /// Drop the operation cache (unique table is kept; refs stay valid).
-  void clear_op_cache() { ite_cache_.clear(); }
+  /// Drop the operation caches (unique table is kept; refs stay valid).
+  void clear_op_cache();
+
+  // Per-manager operation counters, exposed so tests can lock the ITE
+  // normalization rules via deltas (same function → fewer calls, more hits).
+  std::size_t ite_calls() const { return ite_calls_; }
+  std::size_t ite_cache_hits() const { return ite_cache_hits_; }
+  std::size_t not_calls() const { return not_calls_; }
+  std::size_t not_cache_hits() const { return not_cache_hits_; }
+  std::size_t unique_lookups() const { return unique_lookups_; }
 
  private:
   struct BddNode {
@@ -88,44 +130,74 @@ class BddManager {
     BddRef hi;
   };
   static constexpr int kLeafVar = 0x7fffffff;
+  static constexpr BddRef kInvalid = 0xffffffffu;
 
-  struct UniqueKey {
-    int var;
-    BddRef lo;
-    BddRef hi;
-    bool operator==(const UniqueKey&) const = default;
-  };
-  struct UniqueKeyHash {
-    std::size_t operator()(const UniqueKey& k) const {
-      std::uint64_t h = static_cast<std::uint64_t>(k.var) * 0x9e3779b97f4a7c15ULL;
-      h ^= (static_cast<std::uint64_t>(k.lo) << 32 | k.hi) + (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h * 0xff51afd7ed558ccdULL);
-    }
-  };
-  struct IteKey {
-    BddRef f, g, h;
-    bool operator==(const IteKey&) const = default;
-  };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const {
-      std::uint64_t h = k.f * 0x9e3779b97f4a7c15ULL;
-      h = (h ^ k.g) * 0xff51afd7ed558ccdULL;
-      h = (h ^ k.h) * 0xc4ceb9fe1a85ec53ULL;
-      return static_cast<std::size_t>(h);
-    }
+  // Computed-table operation tags (0 marks an empty slot).
+  static constexpr std::uint32_t kOpIte = 1;
+  static constexpr std::uint32_t kOpXor = 2;
+
+  struct CacheEntry {
+    std::uint32_t tag = 0;
+    BddRef f = 0, g = 0, h = 0;
+    BddRef result = 0;
   };
 
   BddRef make(int var, BddRef lo, BddRef hi);
+  void grow_unique();
+
+  const BddRef* cache_find(std::uint32_t tag, BddRef f, BddRef g, BddRef h);
+  void cache_store(std::uint32_t tag, BddRef f, BddRef g, BddRef h, BddRef r);
+  void grow_cache();
+
+  /// True when ¬a is known (via the complement memo) to be b.
+  bool is_not_pair(BddRef a, BddRef b) const {
+    return a < not_memo_.size() && not_memo_[a] == b;
+  }
+  /// Canonical argument order for commutative ops: by top variable, ties by
+  /// ref. Both arguments must be non-constant.
+  bool before(BddRef a, BddRef b) const {
+    const int va = nodes_[a].var;
+    const int vb = nodes_[b].var;
+    return va != vb ? va < vb : a < b;
+  }
+
+  void ensure_scratch() const;
+  void next_epoch() const;
+  double prob_eval(BddRef f, const std::vector<double>& p1) const;
+  BddRef cofactor_rec(BddRef f, int var, bool value);
 
   std::size_t node_limit_;
   std::size_t unique_lookups_ = 0;
   std::size_t ite_calls_ = 0;
   std::size_t ite_cache_hits_ = 0;
+  std::size_t not_calls_ = 0;
+  std::size_t not_cache_hits_ = 0;
   int num_vars_ = 0;
   std::vector<BddNode> nodes_;
   std::vector<BddRef> var_nodes_;
-  std::unordered_map<UniqueKey, BddRef, UniqueKeyHash> unique_;
-  std::unordered_map<IteKey, BddRef, IteKeyHash> ite_cache_;
+
+  // Open-addressed unique table: power-of-two slot array of node ids.
+  std::vector<BddRef> unique_slots_;
+  std::size_t unique_mask_ = 0;
+
+  // Lossy direct-mapped computed table (fixed byte budget, grows toward it).
+  std::vector<CacheEntry> cache_;
+  std::size_t cache_mask_ = 0;
+  std::size_t cache_inserts_ = 0;
+
+  // Dense complement memo: not_memo_[f] == ¬f (kInvalid when unknown).
+  std::vector<BddRef> not_memo_;
+
+  // Epoch-stamped dense scratch for traversals. A traversal bumps epoch_ and
+  // treats stamp_[r] == epoch_ as "memo valid", so no per-call clearing or
+  // allocation. Mutable: traversals are logically const; the manager is not
+  // thread-safe for concurrent use either way (each pipeline task owns its
+  // manager).
+  mutable std::vector<std::uint32_t> stamp_;
+  mutable std::vector<double> prob_memo_;
+  mutable std::vector<BddRef> ref_memo_;
+  mutable std::vector<BddRef> scratch_stack_;
+  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace minpower

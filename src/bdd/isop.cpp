@@ -1,6 +1,7 @@
 #include "bdd/isop.hpp"
 
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 
 namespace minpower {
 
@@ -18,7 +19,8 @@ class IsopBuilder {
   IsopResult run(BddRef lower, BddRef upper) {
     if (lower == BddManager::kFalse) return {Cover::zero(), BddManager::kFalse};
     if (upper == BddManager::kTrue) return {Cover::one(), BddManager::kTrue};
-    const auto key = std::make_pair(lower, upper);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(lower) << 32) | upper;
     const auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
 
@@ -57,8 +59,15 @@ class IsopBuilder {
   }
 
  private:
+  struct KeyHash {
+    std::size_t operator()(std::uint64_t k) const {
+      k *= 0xff51afd7ed558ccdULL;
+      return static_cast<std::size_t>(k ^ (k >> 33));
+    }
+  };
+
   BddManager& mgr_;
-  std::map<std::pair<BddRef, BddRef>, IsopResult> memo_;
+  std::unordered_map<std::uint64_t, IsopResult, KeyHash> memo_;
 };
 
 }  // namespace

@@ -11,8 +11,10 @@ void Curve::insert(CurvePoint p) {
       points_.begin(), points_.end(), p.arrival,
       [](const CurvePoint& q, double t) { return q.arrival < t; });
   // Inferior to an existing point (faster-or-equal and cheaper-or-equal)?
-  for (auto q = points_.begin(); q != it; ++q)
-    if (q->cost <= p.cost) return;
+  // points_ is sorted by arrival ascending with cost strictly descending,
+  // so the immediate predecessor is the cheapest earlier point: one probe
+  // decides what a whole prefix scan used to.
+  if (it != points_.begin() && std::prev(it)->cost <= p.cost) return;
   if (it != points_.end() && it->arrival == p.arrival && it->cost <= p.cost)
     return;
   // Remove points the new one dominates (slower and not cheaper).
@@ -41,6 +43,19 @@ void Curve::prune(double epsilon_t, double epsilon_c) {
   }
   kept.push_back(points_.back());  // cheapest
   points_ = std::move(kept);
+}
+
+bool Curve::admissible(double arrival, double cost) const {
+  // Mirror of insert's rejection logic, for callers that want to skip
+  // building a full CurvePoint (match bookkeeping, the input_point vector)
+  // for a candidate that would be dropped anyway.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), arrival,
+      [](const CurvePoint& q, double t) { return q.arrival < t; });
+  if (it != points_.begin() && std::prev(it)->cost <= cost) return false;
+  if (it != points_.end() && it->arrival == arrival && it->cost <= cost)
+    return false;
+  return true;
 }
 
 int Curve::best_within(double required, double load_shift) const {

@@ -33,6 +33,11 @@ class Curve {
   /// arrival ascending (hence cost strictly descending).
   void insert(CurvePoint p);
 
+  /// Would `insert` keep a point with this (arrival, cost)? Lets hot
+  /// callers skip constructing the realization bookkeeping for points the
+  /// curve would reject as inferior.
+  bool admissible(double arrival, double cost) const;
+
   /// Drop points approximated by the previously kept point on both axes:
   /// arrival within `epsilon_t` AND cost saving below `epsilon_c`
   /// (Sec. 3.2.1's ε-pruning). A point that is barely slower but much

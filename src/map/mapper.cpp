@@ -48,6 +48,12 @@ MapResult map_network(const Network& subject, const Library& lib,
   std::vector<Curve> curve(subject.capacity());
   std::vector<std::vector<Match>> matches(subject.capacity());
 
+  // Scratch reused across matches/nodes: the inner loop runs millions of
+  // times per pass, so per-match allocations dominate otherwise.
+  std::vector<std::vector<InputCand>> cands;
+  std::vector<double> ts;
+  std::vector<int> chosen;
+
   // ---- postorder: power-delay / area-delay curves --------------------------
   for (NodeId id : topo) {
     budget_checkpoint("map");
@@ -87,7 +93,8 @@ MapResult map_network(const Network& subject, const Library& lib,
       const int k = m.gate->num_inputs();
 
       // Candidate (t, cost) list per input, sorted by t with prefix-min cost.
-      std::vector<std::vector<InputCand>> cands(static_cast<std::size_t>(k));
+      if (cands.size() < static_cast<std::size_t>(k))
+        cands.resize(static_cast<std::size_t>(k));
       bool feasible = true;
       for (int i = 0; i < k && feasible; ++i) {
         const NodeId s = m.pin_binding[static_cast<std::size_t>(i)];
@@ -98,6 +105,7 @@ MapResult map_network(const Network& subject, const Library& lib,
         const bool divide = options.dag == DagHeuristic::kFanoutDivision &&
                             subject.node(s).is_internal() && fo > 1;
         auto& list = cands[static_cast<std::size_t>(i)];
+        list.clear();
         for (std::size_t pi = 0; pi < in.size(); ++pi) {
           const CurvePoint& p = in[pi];
           InputCand c;
@@ -133,12 +141,14 @@ MapResult map_network(const Network& subject, const Library& lib,
       if (!feasible) continue;
 
       // Output arrival candidates: every input candidate t is a breakpoint.
-      std::vector<double> ts;
-      for (const auto& list : cands)
-        for (const InputCand& c : list) ts.push_back(c.t);
+      ts.clear();
+      for (int i = 0; i < k; ++i)
+        for (const InputCand& c : cands[static_cast<std::size_t>(i)])
+          ts.push_back(c.t);
       std::sort(ts.begin(), ts.end());
       ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
 
+      chosen.resize(static_cast<std::size_t>(k));
       for (double t : ts) {
         double cost =
             options.objective == MapObjective::kArea ? m.gate->area : 0.0;
@@ -149,7 +159,6 @@ MapResult map_network(const Network& subject, const Library& lib,
           cost += load_power_uw(c_def, activity[static_cast<std::size_t>(id)],
                                 options.vdd, options.t_cycle);
         }
-        std::vector<int> chosen(static_cast<std::size_t>(k), -1);
         bool ok = true;
         for (int i = 0; i < k && ok; ++i) {
           const auto& list = cands[static_cast<std::size_t>(i)];
@@ -166,11 +175,15 @@ MapResult map_network(const Network& subject, const Library& lib,
           chosen[static_cast<std::size_t>(i)] = c.point;
         }
         if (!ok) continue;
+        // Only materialize a point the curve would keep: the realization
+        // vector allocation is the hottest allocation of the whole pass.
+        if (!out.admissible(t, cost)) continue;
         CurvePoint p;
         p.arrival = t;
         p.cost = cost;
         p.match = static_cast<int>(mi);
-        p.input_point = chosen;
+        p.input_point.assign(chosen.begin(),
+                             chosen.begin() + static_cast<std::ptrdiff_t>(k));
         p.drive = m.gate->max_drive();
         out.insert(std::move(p));
       }

@@ -97,14 +97,22 @@ std::vector<double> signal_probabilities(const Network& net,
   span.arg("bdd_nodes", static_cast<unsigned long long>(mgr.num_nodes()));
   const std::vector<double> by_var = bdds.to_variable_order(pi_prob1);
   std::vector<double> p(net.capacity(), 0.0);
-  std::uint64_t live_nodes = 0;
+  // One batch traversal with a shared memo: subgraphs common to many node
+  // functions are walked once per pass instead of once per node. Values are
+  // bit-identical to per-node probability() calls.
+  std::vector<NodeId> live_ids;
+  std::vector<BddRef> live_refs;
+  live_ids.reserve(net.capacity());
+  live_refs.reserve(net.capacity());
   for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
-    const Node& n = net.node(id);
-    if (n.is_dead()) continue;
-    ++live_nodes;
-    p[static_cast<std::size_t>(id)] = mgr.probability(bdds.of(id), by_var);
+    if (net.node(id).is_dead()) continue;
+    live_ids.push_back(id);
+    live_refs.push_back(bdds.of(id));
   }
-  metrics::counter("activity.nodes").add(live_nodes);
+  const std::vector<double> probs = mgr.probabilities(live_refs, by_var);
+  for (std::size_t i = 0; i < live_ids.size(); ++i)
+    p[static_cast<std::size_t>(live_ids[i])] = probs[i];
+  metrics::counter("activity.nodes").add(live_ids.size());
   return p;
 }
 

@@ -270,7 +270,10 @@ CompareReport compare_flow_reports(const FlowReportDoc& base,
   std::vector<std::string> cand_names = cand.circuits;
   std::sort(base_names.begin(), base_names.end());
   std::sort(cand_names.begin(), cand_names.end());
-  if (base_names != cand_names) {
+  if (!options.check_metrics) {
+    r.metrics_checked = false;
+    r.metrics_skip_reason = "disabled (--qor-only)";
+  } else if (base_names != cand_names) {
     r.metrics_checked = false;
     r.metrics_skip_reason =
         "circuit sets differ (subset run); registry totals not comparable";

@@ -98,6 +98,11 @@ struct CompareOptions {
   /// Treat baseline cells missing from the candidate as regressions
   /// (full-suite lock) instead of "skipped" (subset gate).
   bool require_all = false;
+  /// Compare the metrics-registry block (counters/gauges/histograms).
+  /// Disable (`--qor-only`) when vetting an intentional engine change whose
+  /// operation counts legitimately move but whose QoR must stay locked —
+  /// the gate that precedes a deliberate baseline regeneration.
+  bool check_metrics = true;
 };
 
 enum class Verdict {

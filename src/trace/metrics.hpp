@@ -12,6 +12,11 @@
 // Hot-path cost: an increment is one relaxed atomic add. The hottest
 // producers (BddManager) accumulate in plain members and flush once per
 // manager lifetime, so per-operation instrumentation cost there is zero.
+// BDD engine names (DESIGN.md §12): bdd.unique_lookups (unique-table
+// probes), bdd.ite_calls / bdd.ite_cache_hits (tagged computed-table ops —
+// ITE and the one-call XOR — and their cache hits), bdd.not_calls /
+// bdd.not_cache_hits (complement ops against the dense NOT memo), the
+// bdd.unique_table_peak gauge, and the bdd.final_nodes histogram.
 // Handles returned by `counter()/gauge()/histogram()` stay valid for the
 // process lifetime — `reset()` zeroes values but never invalidates them —
 // so call sites may cache them in function-local statics.

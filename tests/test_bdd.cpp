@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <unordered_map>
+#include <vector>
 
 #include "bdd/bdd.hpp"
 #include "util/rng.hpp"
@@ -157,6 +159,218 @@ TEST_P(BddRandomProperty, MatchesTruthTableAndProbability) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, BddRandomProperty, ::testing::Range(0, 50));
+
+// --- ITE normalization rules, locked via the engine's own counters. Each
+// rule must (a) produce the same canonical node as the unnormalized form and
+// (b) funnel equivalent triples into one computed-table entry, observable as
+// a cache hit instead of a fresh recursion.
+
+TEST(BddNormalization, OrArgumentOrderSharesCacheEntry) {
+  BddManager mgr;
+  const BddRef f = mgr.and_(mgr.var(0), mgr.var(2));
+  const BddRef h = mgr.or_(mgr.var(1), mgr.var(3));
+  const BddRef r1 = mgr.or_(f, h);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t hits = mgr.ite_cache_hits();
+  // The swapped OR is the same triple after commutative reordering: one
+  // probe, one hit, no new recursion.
+  const BddRef r2 = mgr.or_(h, f);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(mgr.ite_calls(), calls + 1);
+  EXPECT_EQ(mgr.ite_cache_hits(), hits + 1);
+}
+
+TEST(BddNormalization, AndArgumentOrderSharesCacheEntry) {
+  BddManager mgr;
+  const BddRef f = mgr.or_(mgr.var(0), mgr.var(2));
+  const BddRef g = mgr.or_(mgr.var(1), mgr.var(3));
+  const BddRef r1 = mgr.and_(f, g);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t hits = mgr.ite_cache_hits();
+  const BddRef r2 = mgr.and_(g, f);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(mgr.ite_calls(), calls + 1);
+  EXPECT_EQ(mgr.ite_cache_hits(), hits + 1);
+}
+
+TEST(BddNormalization, IteWithRepeatedThenReducesToOr) {
+  BddManager mgr;
+  const BddRef f = mgr.and_(mgr.var(0), mgr.var(1));
+  const BddRef h = mgr.var(2);
+  const BddRef r1 = mgr.or_(f, h);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t hits = mgr.ite_cache_hits();
+  // ite(f,f,h) → ite(f,1,h): same triple as or_(f,h), served from cache.
+  const BddRef r2 = mgr.ite(f, f, h);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(mgr.ite_calls(), calls + 1);
+  EXPECT_EQ(mgr.ite_cache_hits(), hits + 1);
+}
+
+TEST(BddNormalization, IteWithRepeatedElseReducesToAnd) {
+  BddManager mgr;
+  const BddRef f = mgr.or_(mgr.var(0), mgr.var(1));
+  const BddRef g = mgr.var(2);
+  const BddRef r1 = mgr.and_(f, g);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t hits = mgr.ite_cache_hits();
+  // ite(f,g,f) → ite(f,g,0): same triple as and_(f,g), served from cache.
+  const BddRef r2 = mgr.ite(f, g, f);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(mgr.ite_calls(), calls + 1);
+  EXPECT_EQ(mgr.ite_cache_hits(), hits + 1);
+}
+
+TEST(BddNormalization, IteComplementFormIsCachedNot) {
+  BddManager mgr;
+  const BddRef f = mgr.or_(mgr.and_(mgr.var(0), mgr.var(1)), mgr.var(2));
+  const BddRef nf = mgr.not_(f);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t not_hits = mgr.not_cache_hits();
+  // ite(f,0,1) routes to the dense NOT memo and never probes the ITE
+  // cache; the repeat is a memo hit in both directions.
+  EXPECT_EQ(mgr.ite(f, BddManager::kFalse, BddManager::kTrue), nf);
+  EXPECT_EQ(mgr.ite(nf, BddManager::kFalse, BddManager::kTrue), f);
+  EXPECT_EQ(mgr.ite_calls(), calls);
+  EXPECT_EQ(mgr.not_cache_hits(), not_hits + 2);
+}
+
+TEST(BddNormalization, XnorTripleRoutesToXor) {
+  BddManager mgr;
+  const BddRef a = mgr.or_(mgr.var(0), mgr.var(2));
+  const BddRef b = mgr.and_(mgr.var(1), mgr.var(3));
+  const BddRef nb = mgr.not_(b);
+  const BddRef x = mgr.xor_(a, nb);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t hits = mgr.ite_cache_hits();
+  // ite(f,g,¬g) = f ⊕ ¬g: recognized via the NOT memo and served from the
+  // tagged XOR entry.
+  EXPECT_EQ(mgr.ite(a, b, nb), x);
+  EXPECT_EQ(mgr.ite_calls(), calls + 1);
+  EXPECT_EQ(mgr.ite_cache_hits(), hits + 1);
+}
+
+TEST(BddNormalization, XorCommutes) {
+  BddManager mgr;
+  const BddRef a = mgr.and_(mgr.var(0), mgr.var(2));
+  const BddRef b = mgr.or_(mgr.var(1), mgr.var(3));
+  const BddRef r1 = mgr.xor_(a, b);
+  const std::size_t calls = mgr.ite_calls();
+  const std::size_t hits = mgr.ite_cache_hits();
+  const BddRef r2 = mgr.xor_(b, a);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(mgr.ite_calls(), calls + 1);
+  EXPECT_EQ(mgr.ite_cache_hits(), hits + 1);
+}
+
+// --- Cofactor memoization regression (the bugfix this PR locks in).
+//
+// Parity of n variables is the canonical shared-ladder DAG: 2n−1 nodes with
+// two cross-linked nodes per level. Without a per-call memo the cofactor
+// recursion re-expands both branches at every level — 2^(n−1) calls — so at
+// 44 variables this test only finishes if memoization is real.
+TEST(Bdd, CofactorMemoizesSharedLadders) {
+  constexpr int kVars = 44;
+  BddManager mgr;
+  BddRef parity = BddManager::kFalse;
+  for (int i = 0; i < kVars; ++i) parity = mgr.xor_(parity, mgr.var(i));
+  ASSERT_EQ(mgr.dag_size(parity), 2 * kVars - 1);
+
+  BddRef rest = BddManager::kFalse;
+  for (int i = 0; i < kVars - 1; ++i) rest = mgr.xor_(rest, mgr.var(i));
+  // Fixing the last variable to 1 complements the parity of the rest.
+  EXPECT_EQ(mgr.cofactor(parity, kVars - 1, true), mgr.not_(rest));
+  EXPECT_EQ(mgr.cofactor(parity, kVars - 1, false), rest);
+}
+
+// --- Probability memo: the dense epoch-stamped memo must reproduce a
+// plain hash-map reference implementation bit for bit (0 ULP), and the
+// batch entry point must match per-root calls exactly.
+
+namespace {
+
+double reference_probability(const BddManager& mgr, BddRef f,
+                             const std::vector<double>& p1,
+                             std::unordered_map<BddRef, double>& memo) {
+  if (f == BddManager::kFalse) return 0.0;
+  if (f == BddManager::kTrue) return 1.0;
+  const auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const double pv = p1[static_cast<std::size_t>(mgr.top_var(f))];
+  const double plo = reference_probability(mgr, mgr.low(f), p1, memo);
+  const double phi = reference_probability(mgr, mgr.high(f), p1, memo);
+  const double r = pv * phi + (1.0 - pv) * plo;
+  memo.emplace(f, r);
+  return r;
+}
+
+}  // namespace
+
+TEST(BddProbability, DenseMemoMatchesReferenceExactly) {
+  Rng rng(20260809);
+  const int nvars = 10;
+  BddManager mgr;
+  std::vector<BddRef> pool;
+  for (int i = 0; i < nvars; ++i) pool.push_back(mgr.var(i));
+  for (int step = 0; step < 300; ++step) {
+    const BddRef x = pool[rng.below(pool.size())];
+    const BddRef y = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: pool.push_back(mgr.and_(x, y)); break;
+      case 1: pool.push_back(mgr.or_(x, y)); break;
+      case 2: pool.push_back(mgr.xor_(x, y)); break;
+      default: pool.push_back(mgr.not_(x)); break;
+    }
+  }
+  std::vector<double> p(nvars);
+  for (double& x : p) x = rng.uniform(0.05, 0.95);
+
+  for (const BddRef f : pool) {
+    std::unordered_map<BddRef, double> memo;
+    const double want = reference_probability(mgr, f, p, memo);
+    // Exact equality on purpose: the recurrence and its evaluation order
+    // are identical, so the results must agree to the last bit.
+    EXPECT_EQ(mgr.probability(f, p), want);
+  }
+}
+
+TEST(BddProbability, BatchMatchesPerRootCallsExactly) {
+  Rng rng(424242);
+  const int nvars = 8;
+  BddManager mgr;
+  std::vector<BddRef> pool;
+  for (int i = 0; i < nvars; ++i) pool.push_back(mgr.var(i));
+  for (int step = 0; step < 200; ++step) {
+    const BddRef x = pool[rng.below(pool.size())];
+    const BddRef y = pool[rng.below(pool.size())];
+    switch (rng.below(3)) {
+      case 0: pool.push_back(mgr.and_(x, y)); break;
+      case 1: pool.push_back(mgr.or_(x, y)); break;
+      default: pool.push_back(mgr.not_(y)); break;
+    }
+  }
+  std::vector<double> p(nvars);
+  for (double& x : p) x = rng.uniform(0.05, 0.95);
+
+  const std::vector<double> batch = mgr.probabilities(pool, p);
+  ASSERT_EQ(batch.size(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    EXPECT_EQ(batch[i], mgr.probability(pool[i], p)) << i;
+}
+
+TEST(Bdd, SupportAndDagSizeAreConstAndRepeatable) {
+  BddManager mgr;
+  const BddRef f =
+      mgr.or_(mgr.and_(mgr.var(0), mgr.var(2)), mgr.xor_(mgr.var(1), mgr.var(3)));
+  const std::vector<int> s1 = mgr.support(f);
+  const std::size_t d1 = mgr.dag_size(f);
+  // Epoch-stamped scratch: repeated traversals must not be contaminated by
+  // earlier ones.
+  EXPECT_EQ(mgr.support(f), s1);
+  EXPECT_EQ(mgr.dag_size(f), d1);
+  EXPECT_EQ(s1, (std::vector<int>{0, 1, 2, 3}));
+}
+
 
 }  // namespace
 }  // namespace minpower

@@ -151,5 +151,31 @@ TEST_P(CurveProperty, StaircaseInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Random, CurveProperty, ::testing::Range(0, 20));
 
+// admissible() is the mapper's pre-check that skips building a CurvePoint's
+// realization bookkeeping for points insert would drop. The two must agree
+// on every input, including ties and equal-arrival replacements.
+TEST_P(CurveProperty, AdmissibleAgreesWithInsert) {
+  Rng rng(0xadd1e + static_cast<std::uint64_t>(GetParam()));
+  Curve c;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 10.0);
+    const double cost = rng.uniform(0.0, 10.0);
+    const bool predicted = c.admissible(t, cost);
+    const std::size_t before = c.size();
+    c.insert(pt(t, cost));
+    // insert either kept the point (size change or an equal-arrival
+    // replacement) or dropped it as inferior; admissible must have said so.
+    bool kept = c.size() != before;
+    if (!kept) {
+      // Same size: either replaced an equal-arrival point (kept) or
+      // dropped. A kept point is findable by exact (arrival, cost).
+      for (std::size_t k = 0; k < c.size(); ++k)
+        if (c[k].arrival == t && c[k].cost == cost) kept = true;
+    }
+    EXPECT_EQ(predicted, kept) << "t=" << t << " cost=" << cost;
+  }
+}
+
+
 }  // namespace
 }  // namespace minpower

@@ -27,7 +27,7 @@
 //                                                  (minpower.profile.v1)
 //   minpower compare <baseline.json> <candidate.json>
 //                   [--json out.json] [--qor-rel-tol X] [--qor-abs-tol X]
-//                   [--time-band F] [--require-all]
+//                   [--time-band F] [--require-all] [--qor-only]
 //                                                  QoR/perf regression gate
 //                                                  over two minpower.flow.v1
 //                                                  reports
@@ -100,6 +100,7 @@ struct Args {
   double qor_abs_tol = 0.0;
   double time_band = 0.20;    // compare: allowed slowdown (+20%)
   bool require_all = false;   // compare: missing cells are regressions
+  bool qor_only = false;      // compare: skip the metrics-registry block
 };
 
 /// Fatal usage / input problems throw; main() turns them into exit code 1.
@@ -140,6 +141,7 @@ Args parse_args(int argc, char** argv, int first) {
     else if (arg == "--time-band")
       a.time_band = std::stod(value("--time-band"));
     else if (arg == "--require-all") a.require_all = true;
+    else if (arg == "--qor-only") a.qor_only = true;
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -478,6 +480,7 @@ int cmd_compare(const Args& a) {
   o.qor_abs_tol = a.qor_abs_tol;
   o.time_band = a.time_band;
   o.require_all = a.require_all;
+  o.check_metrics = !a.qor_only;
   const report::CompareReport r = report::compare_flow_reports(base, cand, o);
   report::print_compare(std::cout, r);
   if (a.json) {
