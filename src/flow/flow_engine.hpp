@@ -1,6 +1,7 @@
 #pragma once
 // FlowEngine: the shared-decomposition, multi-threaded runner behind the
-// six-method evaluation of Tables 2–3.
+// six-method evaluation of Tables 2–3 — the one-shot face of the
+// session/cache layer in flow/session.hpp.
 //
 // The method pairs I/IV, II/V and III/VI differ only in the mapping
 // objective — they operate on the *same* decomposed subject network. The
@@ -34,66 +35,18 @@
 //   stage-2 task (map + evaluate):     ordinal = 3*num_circuits
 //                                                + circuit*6 + method_index
 // (a single-circuit run thus has stage-1 ordinals 0–2, stage-2 3–8).
+// A run with armed faults disables cross-run caching and intra-batch work
+// sharing so every ordinal above stays a live task.
+//
+// FlowEngine is a FlowSession with cross-run caching disabled (the
+// SessionOptions default): each run_suite call computes every distinct
+// (circuit × group) and (circuit × method) unit afresh. `minpower serve`
+// constructs the session with caching enabled instead.
 
-#include <iosfwd>
-#include <vector>
-
-#include "flow/flow.hpp"
-#include "util/budget.hpp"
+#include "flow/session.hpp"
 
 namespace minpower {
 
-struct EngineOptions {
-  FlowOptions flow;
-  /// Worker threads (0 → hardware concurrency). 1 runs inline.
-  unsigned num_threads = 1;
-  /// Armed faults, merged with MINPOWER_INJECT_FAULT at each run_suite
-  /// call (see the ordinal scheme above).
-  std::vector<FaultInjection> injections;
-  /// Emit one live stderr status line per finished task. Lines are built
-  /// whole and written under a mutex, so threads never interleave output.
-  bool verbose = false;
-};
-
-/// Cumulative pass counts over the engine's lifetime (across run_* calls).
-struct EngineCounters {
-  int decomp_passes = 0;    // decompose_network invocations
-  int activity_passes = 0;  // switching_activities invocations
-  int map_passes = 0;       // map_network invocations
-};
-
-class FlowEngine {
- public:
-  explicit FlowEngine(const Library& lib, EngineOptions options = {});
-
-  /// All six methods of one prepared circuit, in Method order.
-  /// Performs exactly 3 decompositions and 3 activity passes.
-  std::vector<FlowResult> run_circuit(const Network& prepared);
-
-  /// Fan out (circuit × method) over the pool; result [i] holds circuit i's
-  /// six methods in Method order. 3·n decompositions, 3·n activity passes.
-  std::vector<std::vector<FlowResult>> run_suite(
-      const std::vector<const Network*>& circuits);
-
-  const EngineCounters& counters() const { return counters_; }
-  void reset_counters() { counters_ = EngineCounters{}; }
-
-  /// The thread count a run will actually use (resolves 0).
-  unsigned effective_threads() const;
-
- private:
-  const Library& lib_;
-  EngineOptions options_;
-  EngineCounters counters_;
-};
-
-/// Serialize per-circuit six-method results (plus engine pass counters and
-/// a `metrics` block snapshotting the global metrics registry) as the
-/// machine-readable flow-bench schema `minpower.flow.v1` — see
-/// DESIGN.md §"Flow engine" for the field list.
-void write_flow_json(std::ostream& os,
-                     const std::vector<std::vector<FlowResult>>& per_circuit,
-                     const EngineCounters& counters, unsigned num_threads,
-                     double elapsed_ms, const std::string& library_name);
+using FlowEngine = FlowSession;
 
 }  // namespace minpower

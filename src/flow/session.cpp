@@ -1,13 +1,16 @@
-#include "flow/flow_engine.hpp"
+#include "flow/session.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "decomp/package_merge.hpp"
 #include "prob/probability.hpp"
@@ -44,7 +47,8 @@ std::size_t group_of(Method m) {
 /// decomposition options the pair shares.
 constexpr Method kGroupMethod[3] = {Method::kI, Method::kII, Method::kIII};
 
-/// One decomposed subject network shared by a method pair.
+/// One decomposed subject network shared by a method pair — the stage-1
+/// product and the value cached by the session's group cache.
 struct DecompGroup {
   NetworkDecompResult nd;
   std::vector<double> activities;
@@ -143,45 +147,341 @@ void parallel_for(std::size_t n, unsigned threads,
   for (std::thread& t : pool) t.join();
 }
 
+/// Cache key: structural hash ⊕ option fingerprint ⊕ a work-unit tag
+/// (decomposition group 0–2 for stage 1, 8+method index for stage 2).
+Hash128 work_key(const Hash128& net, const Hash128& opts, std::uint64_t tag) {
+  StreamHash s;
+  s.h128(net);
+  s.h128(opts);
+  s.u64(tag);
+  return s.digest();
+}
+
+/// Bounded LRU keyed on Hash128, guarded for concurrent readers: lookups
+/// take the shared lock and refresh the entry's recency with a relaxed
+/// atomic stamp; inserts take the exclusive lock and evict the
+/// least-recently-stamped entries past capacity (an O(size) scan —
+/// capacities are small and inserts are rare next to the synthesis work an
+/// entry represents). Values are shared_ptr-owned, so a returned hit stays
+/// valid after its entry is evicted.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  std::shared_ptr<const V> lookup(const Hash128& key) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    it->second.stamp.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  /// Returns the number of entries evicted to stay within capacity.
+  std::size_t insert(const Hash128& key, std::shared_ptr<const V> value) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Entry& e = map_[key];
+    e.value = std::move(value);
+    e.stamp.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    std::size_t evicted = 0;
+    while (map_.size() > capacity_) {
+      auto victim = map_.begin();
+      for (auto it = map_.begin(); it != map_.end(); ++it)
+        if (it->second.stamp.load(std::memory_order_relaxed) <
+            victim->second.stamp.load(std::memory_order_relaxed))
+          victim = it;
+      map_.erase(victim);
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const V> value;
+    std::atomic<std::uint64_t> stamp{0};
+  };
+
+  const std::size_t capacity_;
+  mutable std::shared_mutex mu_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::unordered_map<Hash128, Entry, Hash128Fold> map_;
+};
+
 }  // namespace
 
-FlowEngine::FlowEngine(const Library& lib, EngineOptions options)
-    : lib_(lib), options_(std::move(options)) {}
+Hash128 structural_hash(const Network& net) {
+  // Per-node hashes derive from fanin hashes, so they are independent of
+  // declaration order; the network hash combines PI and PO contributions as
+  // sorted multisets, so it is too.
+  std::vector<Hash128> h(net.capacity());
+  for (NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    StreamHash s;
+    switch (node.kind) {
+      case NodeKind::kPrimaryInput:
+        s.u64(1);
+        s.str(node.name);  // PI names bind option vectors; internal names
+                           // never participate
+        break;
+      case NodeKind::kConstant0:
+        s.u64(2);
+        break;
+      case NodeKind::kConstant1:
+        s.u64(3);
+        break;
+      case NodeKind::kInternal: {
+        s.u64(4);
+        s.u64(node.fanins.size());
+        for (const NodeId f : node.fanins)
+          s.h128(h[static_cast<std::size_t>(f)]);
+        // Canonical cover: cube order is irrelevant to the function, so a
+        // sorted copy makes the hash independent of it. Fanin order stays
+        // significant (it binds cover variables) — permuting fanins with a
+        // remapped cover misses the cache, which is safe.
+        std::vector<Cube> cubes = node.cover.cubes();
+        std::sort(cubes.begin(), cubes.end());
+        s.u64(cubes.size());
+        for (const Cube& c : cubes) {
+          s.u64(c.pos());
+          s.u64(c.neg());
+        }
+        break;
+      }
+      case NodeKind::kDead:
+        continue;  // tombstones never reach topo_order, but be explicit
+    }
+    h[static_cast<std::size_t>(id)] = s.digest();
+  }
 
-unsigned FlowEngine::effective_threads() const {
+  std::vector<Hash128> pi_h;
+  pi_h.reserve(net.pis().size());
+  for (const NodeId pi : net.pis()) pi_h.push_back(h[static_cast<std::size_t>(pi)]);
+  std::sort(pi_h.begin(), pi_h.end());
+
+  std::vector<Hash128> po_h;
+  po_h.reserve(net.pos().size());
+  for (const PrimaryOutput& po : net.pos()) {
+    StreamHash s;
+    s.u64(5);
+    s.str(po.name);
+    s.h128(po.driver == kNoNode ? Hash128{}
+                                : h[static_cast<std::size_t>(po.driver)]);
+    po_h.push_back(s.digest());
+  }
+  std::sort(po_h.begin(), po_h.end());
+
+  StreamHash s;
+  s.u64(0x6d70'6e65'7477'6f72ULL);  // "mpnetwor" domain tag
+  s.u64(pi_h.size());
+  for (const Hash128& x : pi_h) s.h128(x);
+  s.u64(po_h.size());
+  for (const Hash128& x : po_h) s.h128(x);
+  return s.digest();
+}
+
+Hash128 option_fingerprint(const FlowOptions& o, const Network& net) {
+  StreamHash s;
+  s.u64(0x6d70'6f70'7469'6f6eULL);  // "mpoption" domain tag
+  s.u64(static_cast<std::uint64_t>(o.style));
+  s.f64(o.vdd);
+  s.f64(o.t_cycle);
+  s.f64(o.po_load);
+  s.f64(o.epsilon_t);
+  s.f64(o.epsilon_c);
+  s.u64(static_cast<std::uint64_t>(o.policy));
+  s.f64(o.relax_factor);
+  s.u64(static_cast<std::uint64_t>(o.dag));
+  // Budget limits shape degradation outcomes, so they are part of the key.
+  s.u64(o.bdd_node_limit);
+  s.f64(o.task_deadline_ms);
+  s.u64(o.task_step_limit);
+
+  // Per-PI statistics, bound by PI name in sorted-name order: a permuted
+  // netlist with correspondingly permuted vectors fingerprints identically,
+  // and an explicit all-default vector matches the empty one.
+  struct PiStat {
+    const std::string* name;
+    double prob;
+    double arrival;
+  };
+  std::vector<PiStat> stats;
+  stats.reserve(net.pis().size());
+  for (std::size_t i = 0; i < net.pis().size(); ++i) {
+    const Node& pi = net.node(net.pis()[i]);
+    stats.push_back({&pi.name, i < o.pi_prob1.size() ? o.pi_prob1[i] : 0.5,
+                     i < o.pi_arrival.size() ? o.pi_arrival[i] : 0.0});
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const PiStat& a, const PiStat& b) { return *a.name < *b.name; });
+  s.u64(stats.size());
+  for (const PiStat& p : stats) {
+    s.str(*p.name);
+    s.f64(p.prob);
+    s.f64(p.arrival);
+  }
+  return s.digest();
+}
+
+struct FlowSession::Caches {
+  LruCache<DecompGroup> groups;
+  LruCache<FlowResult> results;
+  Caches(std::size_t group_capacity, std::size_t result_capacity)
+      : groups(group_capacity), results(result_capacity) {}
+};
+
+FlowSession::FlowSession(const Library& lib, EngineOptions options,
+                         SessionOptions session)
+    : lib_(lib), options_(std::move(options)), session_options_(session) {
+  if (session_options_.enable_cache)
+    caches_ = std::make_unique<Caches>(session_options_.group_cache_capacity,
+                                       session_options_.result_cache_capacity);
+}
+
+FlowSession::~FlowSession() = default;
+
+unsigned FlowSession::effective_threads() const {
   if (options_.num_threads != 0) return options_.num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? hw : 1;
 }
 
-std::vector<FlowResult> FlowEngine::run_circuit(const Network& prepared) {
+SessionStats FlowSession::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+EngineCounters FlowSession::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
+}
+
+void FlowSession::reset_counters() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_ = EngineCounters{};
+}
+
+std::vector<FlowResult> FlowSession::run_circuit(const Network& prepared) {
+  return run_circuit(prepared, options_.flow, nullptr);
+}
+
+std::vector<FlowResult> FlowSession::run_circuit(const Network& prepared,
+                                                 const FlowOptions& flow,
+                                                 SessionStats* delta) {
   const Network* one[] = {&prepared};
   std::vector<std::vector<FlowResult>> rs =
-      run_suite(std::vector<const Network*>(one, one + 1));
+      run_suite(std::vector<const Network*>(one, one + 1), flow, delta);
   return std::move(rs.front());
 }
 
-std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
-    const std::vector<const Network*>& circuits) {
+std::vector<std::vector<FlowResult>> FlowSession::run_suite(
+    const std::vector<const Network*>& circuits, SessionStats* delta) {
+  return run_suite(circuits, options_.flow, delta);
+}
+
+std::vector<std::vector<FlowResult>> FlowSession::run_suite(
+    const std::vector<const Network*>& circuits, const FlowOptions& flow,
+    SessionStats* delta) {
   const std::size_t n = circuits.size();
   const unsigned threads = effective_threads();
-  const FlowOptions& flow = options_.flow;
 
   // Armed faults: explicit options first, then the environment hook.
   std::vector<FaultInjection> injections = options_.injections;
   for (FaultInjection& f : fault_injections_from_env())
     injections.push_back(std::move(f));
 
-  // ---- stage 1: one decomposition + one activity pass per distinct
-  // subject network (3 per circuit). Each task is fault-isolated: a blown
-  // budget degrades (halved-cap retry, then Monte-Carlo activities) or
-  // fails this group only. -------------------------------------------------
+  // Identical work units are shared within the batch (and, when caching is
+  // on, across runs). Armed faults disable both, so every task ordinal in
+  // the injection scheme stays a live task.
+  const bool share = injections.empty();
+  const bool cached = share && session_options_.enable_cache;
+  SessionStats run_stats;
+
+  std::vector<Hash128> net_hash(n);
+  std::vector<Hash128> opt_hash(n);
+  if (share)
+    for (std::size_t i = 0; i < n; ++i) {
+      net_hash[i] = structural_hash(*circuits[i]);
+      opt_hash[i] = option_fingerprint(flow, *circuits[i]);
+    }
+
+  // ---- stage 0: resolve whole (subject × method) results from the cache
+  // before any planning. A fully warm circuit touches neither stage — in
+  // particular its decomposition groups are never fetched or recomputed,
+  // even after they were evicted. ------------------------------------------
+  std::vector<std::vector<FlowResult>> out(n, std::vector<FlowResult>(6));
+  std::vector<Hash128> slot2_key(n * 6);
+  std::vector<char> resolved(n * 6, 0);
+  if (cached)
+    for (std::size_t t = 0; t < n * 6; ++t) {
+      slot2_key[t] = work_key(net_hash[t / 6], opt_hash[t / 6], 8 + t % 6);
+      if (auto hit = caches_->results.lookup(slot2_key[t])) {
+        FlowResult r = *hit;
+        r.circuit = circuits[t / 6]->name();
+        out[t / 6][t % 6] = std::move(r);
+        resolved[t] = 1;
+        ++run_stats.result_hits;
+      }
+    }
+
+  // ---- stage 1 planning: one decomposition + one activity pass per
+  // *distinct* subject still needed by an unresolved method (cache hits are
+  // taken here, serially, so results and counters are independent of thread
+  // count). ----------------------------------------------------------------
+  std::vector<std::shared_ptr<const DecompGroup>> groups(n * 3);
+  std::vector<Hash128> slot_key(n * 3);
+  std::vector<std::size_t> alias(n * 3);
+  std::vector<std::size_t> compute;
+  compute.reserve(n * 3);
+  {
+    std::unordered_map<Hash128, std::size_t, Hash128Fold> owner;
+    for (std::size_t t = 0; t < n * 3; ++t) {
+      alias[t] = t;
+      if (!share) {
+        compute.push_back(t);
+        continue;
+      }
+      bool needed = false;
+      for (std::size_t m = 0; m < 6; ++m)
+        if (group_of(kMethods[m]) == t % 3 && !resolved[(t / 3) * 6 + m])
+          needed = true;
+      if (!needed) continue;
+      slot_key[t] = work_key(net_hash[t / 3], opt_hash[t / 3], t % 3);
+      if (cached) {
+        if (auto hit = caches_->groups.lookup(slot_key[t])) {
+          groups[t] = std::move(hit);
+          ++run_stats.group_hits;
+          continue;
+        }
+      }
+      const auto [it, fresh] = owner.try_emplace(slot_key[t], t);
+      if (!fresh) {
+        alias[t] = it->second;
+        continue;
+      }
+      compute.push_back(t);
+      if (cached) ++run_stats.group_misses;
+    }
+  }
+
+  // ---- stage 1 execution. Each task is fault-isolated: a blown budget
+  // degrades (halved-cap retry, then Monte-Carlo activities) or fails this
+  // group only. ------------------------------------------------------------
   const auto stage1_t0 = std::chrono::steady_clock::now();
-  std::vector<DecompGroup> groups(n * 3);
-  parallel_for(n * 3, threads, [&](std::size_t t) {
+  std::vector<DecompGroup> scratch(n * 3);
+  parallel_for(compute.size(), threads, [&](std::size_t i) {
+    const std::size_t t = compute[i];
     const auto task_start = std::chrono::steady_clock::now();
     const Network& net = *circuits[t / 3];
-    DecompGroup& g = groups[t];
+    DecompGroup& g = scratch[t];
     const long ordinal = static_cast<long>(t);
     const std::string label =
         net.name() + "/decomp[" + std::to_string(t % 3) + "]";
@@ -292,20 +592,55 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
       g.status.reason = e.what();
     }
   });
-  counters_.decomp_passes += static_cast<int>(n) * 3;
-  counters_.activity_passes += static_cast<int>(n) * 3;
+  for (const std::size_t t : compute) {
+    auto sp = std::make_shared<const DecompGroup>(std::move(scratch[t]));
+    // Failed groups are load-specific (deadlines, injected faults never
+    // reach here, fatal errors) — recompute them next time.
+    if (cached && sp->status.state != TaskState::kFailed)
+      run_stats.evictions += caches_->groups.insert(slot_key[t], sp);
+    groups[t] = std::move(sp);
+  }
+  scratch.clear();
+  for (std::size_t t = 0; t < n * 3; ++t)
+    if (!groups[t]) groups[t] = groups[alias[t]];
 
-  // ---- stage 2: map + evaluate each (circuit × method) over the shared
-  // subject. A method whose group failed inherits that failure; its own
-  // budget covers mapping and evaluation. ----------------------------------
+  // ---- stage 2 planning: map + evaluate each *distinct* (subject ×
+  // method) not already resolved from the cache in stage 0; duplicates
+  // reuse the result with the circuit name rewritten. ----------------------
+  std::vector<std::size_t> alias2(n * 6);
+  std::vector<std::size_t> compute2;
+  compute2.reserve(n * 6);
+  {
+    std::unordered_map<Hash128, std::size_t, Hash128Fold> owner;
+    for (std::size_t t = 0; t < n * 6; ++t) {
+      alias2[t] = t;
+      if (resolved[t]) continue;
+      if (!share) {
+        compute2.push_back(t);
+        continue;
+      }
+      slot2_key[t] = work_key(net_hash[t / 6], opt_hash[t / 6], 8 + t % 6);
+      const auto [it, fresh] = owner.try_emplace(slot2_key[t], t);
+      if (!fresh) {
+        alias2[t] = it->second;
+        continue;
+      }
+      compute2.push_back(t);
+      if (cached) ++run_stats.result_misses;
+    }
+  }
+
+  // ---- stage 2 execution over the shared subjects. A method whose group
+  // failed inherits that failure; its own budget covers mapping and
+  // evaluation. ------------------------------------------------------------
   const auto stage2_t0 = std::chrono::steady_clock::now();
-  std::vector<std::vector<FlowResult>> out(n, std::vector<FlowResult>(6));
-  parallel_for(n * 6, threads, [&](std::size_t t) {
+  parallel_for(compute2.size(), threads, [&](std::size_t i) {
+    const std::size_t t = compute2[i];
     const auto task_start = std::chrono::steady_clock::now();
     const std::size_t ci = t / 6;
     const Method method = kMethods[t % 6];
     const Network& prepared = *circuits[ci];
-    const DecompGroup& g = groups[ci * 3 + group_of(method)];
+    const DecompGroup& g = *groups[ci * 3 + group_of(method)];
     const long ordinal = static_cast<long>(3 * n + t);
     const std::string label =
         prepared.name() + "/map[" + method_name(method) + "]";
@@ -372,11 +707,22 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
     }
     out[ci][t % 6] = std::move(r);
   });
-  counters_.map_passes += static_cast<int>(n) * 6;
+  for (const std::size_t t : compute2) {
+    const FlowResult& r = out[t / 6][t % 6];
+    if (cached && r.status.state != TaskState::kFailed)
+      run_stats.evictions += caches_->results.insert(
+          slot2_key[t], std::make_shared<const FlowResult>(r));
+  }
+  for (std::size_t t = 0; t < n * 6; ++t) {
+    if (alias2[t] == t) continue;
+    FlowResult r = out[alias2[t] / 6][alias2[t] % 6];
+    r.circuit = circuits[t / 6]->name();
+    out[t / 6][t % 6] = std::move(r);
+  }
 
-  // Task-outcome metrics over all 9n tasks (3n stage-1 groups + 6n stage-2
-  // results). Retries/fallbacks originate in stage 1 and are counted there
-  // only (stage-2 results inherit the group status verbatim).
+  // Task-outcome metrics over the executed tasks (cache hits and batch
+  // duplicates did not run). Retries/fallbacks originate in stage 1 and are
+  // counted there only (stage-2 results inherit the group status verbatim).
   {
     std::uint64_t ok = 0;
     std::uint64_t degraded = 0;
@@ -391,14 +737,14 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
         case TaskState::kFailed: ++failed; break;
       }
     };
-    for (const DecompGroup& g : groups) {
+    for (const std::size_t t : compute) {
+      const DecompGroup& g = *groups[t];
       bump(g.status.state);
       retries += static_cast<std::uint64_t>(g.status.retries);
       fallbacks += g.status.fallbacks.size();
       exact_fb += static_cast<std::uint64_t>(g.exact_fallbacks);
     }
-    for (const std::vector<FlowResult>& methods : out)
-      for (const FlowResult& r : methods) bump(r.status.state);
+    for (const std::size_t t : compute2) bump(out[t / 6][t % 6].status.state);
     metrics::counter("engine.tasks_ok").add(ok);
     metrics::counter("engine.tasks_degraded").add(degraded);
     metrics::counter("engine.tasks_failed").add(failed);
@@ -406,13 +752,37 @@ std::vector<std::vector<FlowResult>> FlowEngine::run_suite(
     metrics::counter("engine.fallbacks").add(fallbacks);
     metrics::counter("engine.exact_fallbacks").add(exact_fb);
   }
+
+  if (cached) {
+    // Mirror cache traffic into the registry (serve dashboards); the
+    // one-shot FlowEngine path never touches these names, keeping its
+    // metrics block byte-compatible with committed baselines.
+    metrics::counter("session.group_hits").add(run_stats.group_hits);
+    metrics::counter("session.group_misses").add(run_stats.group_misses);
+    metrics::counter("session.result_hits").add(run_stats.result_hits);
+    metrics::counter("session.result_misses").add(run_stats.result_misses);
+    metrics::counter("session.evictions").add(run_stats.evictions);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.decomp_passes += static_cast<int>(compute.size());
+    counters_.activity_passes += static_cast<int>(compute.size());
+    counters_.map_passes += static_cast<int>(compute2.size());
+    stats_.group_hits += run_stats.group_hits;
+    stats_.group_misses += run_stats.group_misses;
+    stats_.result_hits += run_stats.result_hits;
+    stats_.result_misses += run_stats.result_misses;
+    stats_.evictions += run_stats.evictions;
+  }
+  if (delta != nullptr) *delta = run_stats;
   return out;
 }
 
 void write_flow_json(std::ostream& os,
                      const std::vector<std::vector<FlowResult>>& per_circuit,
                      const EngineCounters& counters, unsigned num_threads,
-                     double elapsed_ms, const std::string& library_name) {
+                     double elapsed_ms, const std::string& library_name,
+                     const FlowJsonPolicy& policy) {
   // Task rollup: every (circuit × method) result carries the status of the
   // tasks that produced it.
   int ok = 0;
@@ -433,13 +803,16 @@ void write_flow_json(std::ostream& os,
         worst = r.status.state;
     return worst;
   };
+  const auto wall = [&policy](double ms) {
+    return policy.zero_wall_times ? 0.0 : ms;
+  };
 
   JsonWriter w(os);
   w.begin_object();
   w.field("schema", "minpower.flow.v1");
   w.field("library", library_name);
   w.field("num_threads", num_threads);
-  w.field("elapsed_ms", elapsed_ms);
+  w.field("elapsed_ms", wall(elapsed_ms));
   w.key("engine");
   w.begin_object();
   w.field("decomp_passes", counters.decomp_passes);
@@ -452,8 +825,10 @@ void write_flow_json(std::ostream& os,
   w.field("degraded", degraded);
   w.field("failed", failed);
   w.end_object();
-  w.key("metrics");
-  metrics::write_metrics_json(w, metrics::Registry::global().snapshot());
+  if (policy.include_metrics) {
+    w.key("metrics");
+    metrics::write_metrics_json(w, metrics::Registry::global().snapshot());
+  }
   w.key("circuits");
   w.begin_array();
   for (const std::vector<FlowResult>& methods : per_circuit) {
@@ -485,10 +860,10 @@ void write_flow_json(std::ostream& os,
       w.end_object();
       w.key("phases");
       w.begin_object();
-      w.field("decomp_ms", r.phases.decomp_ms);
-      w.field("activity_ms", r.phases.activity_ms);
-      w.field("map_ms", r.phases.map_ms);
-      w.field("eval_ms", r.phases.eval_ms);
+      w.field("decomp_ms", wall(r.phases.decomp_ms));
+      w.field("activity_ms", wall(r.phases.activity_ms));
+      w.field("map_ms", wall(r.phases.map_ms));
+      w.field("eval_ms", wall(r.phases.eval_ms));
       w.field("bdd_nodes", r.phases.bdd_nodes);
       w.field("matches", r.phases.matches);
       w.field("curve_points", r.phases.curve_points);

@@ -1,0 +1,182 @@
+#pragma once
+// FlowSession: the reusable session/cache layer behind the flow engine and
+// the `minpower serve` long-lived service (DESIGN.md §13).
+//
+// The paper's flow — decompose, activity, map against power-delay curves —
+// is a pure function of the (sub)network and the options, so its expensive
+// intermediates are memoizable across runs. A FlowSession keys them on a
+// canonical 128-bit structural hash of the network plus an option
+// fingerprint and keeps them in bounded LRU caches:
+//
+//   * decomposition group cache: (net, options, group) → decomposed subject
+//     network + switching-activity vector (the stage-1 product);
+//   * result cache: (net, options, method) → mapped QoR (the stage-2
+//     product — curves are consumed during mapping, so the cached unit is
+//     the final method result).
+//
+// Both caches are guarded for concurrent readers: lookups take a shared
+// lock and stamp the entry's recency with a relaxed atomic, inserts take
+// the exclusive lock and evict the least-recently-stamped entry past
+// capacity. Values are shared_ptr-owned, so a hit stays valid after
+// eviction. Only ok/degraded results are cached — a failed task (deadline,
+// fatal error) is load- or request-specific and recomputes next time.
+//
+// Determinism: cache lookups happen during (serial) run planning, and
+// identical stage-1/stage-2 work within one batch is deduplicated by key
+// before fan-out, so results and pass counters are independent of thread
+// count and arrival interleaving. The one-shot FlowEngine wraps a session
+// with caching disabled and behaves exactly as before; `minpower serve`
+// keeps one caching session alive across requests.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "util/budget.hpp"
+#include "util/hash.hpp"
+
+namespace minpower {
+
+struct EngineOptions {
+  FlowOptions flow;
+  /// Worker threads (0 → hardware concurrency). 1 runs inline.
+  unsigned num_threads = 1;
+  /// Armed faults, merged with MINPOWER_INJECT_FAULT at each run_suite
+  /// call (see flow_engine.hpp for the ordinal scheme). A run with armed
+  /// faults bypasses the caches and the intra-batch dedup so every task
+  /// ordinal stays live.
+  std::vector<FaultInjection> injections;
+  /// Emit one live stderr status line per finished task. Lines are built
+  /// whole and written under a mutex, so threads never interleave output.
+  bool verbose = false;
+};
+
+/// Cumulative computed-pass counts over the session's lifetime. Cache hits
+/// and intra-batch duplicates do not count — these are passes actually run.
+struct EngineCounters {
+  int decomp_passes = 0;    // decompose_network invocations
+  int activity_passes = 0;  // switching_activities invocations
+  int map_passes = 0;       // map_network invocations
+};
+
+struct SessionOptions {
+  /// Cross-run memoization. Off by default (the one-shot FlowEngine
+  /// contract); `minpower serve` turns it on.
+  bool enable_cache = false;
+  /// Bounded LRU capacities, in entries. A decomposition-group entry holds
+  /// a subject network + activity vector; a result entry holds one QoR row.
+  std::size_t group_cache_capacity = 256;
+  std::size_t result_cache_capacity = 4096;
+};
+
+/// Cumulative cache traffic. Mirrored into the global metrics registry
+/// (session.* counters) whenever caching is enabled.
+struct SessionStats {
+  std::uint64_t group_hits = 0;
+  std::uint64_t group_misses = 0;
+  std::uint64_t result_hits = 0;
+  std::uint64_t result_misses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t hits() const { return group_hits + result_hits; }
+  std::uint64_t lookups() const {
+    return group_hits + group_misses + result_hits + result_misses;
+  }
+};
+
+/// Canonical structural hash of a network: invariant under PI/node
+/// declaration-order permutations (node hashes are derived from fanin
+/// hashes; PI and PO contributions are combined as sorted multisets), and
+/// sensitive to any functional change — a single-literal flip, an
+/// added/removed cube, a different PO binding. Node and PI *names* of
+/// internal nodes do not participate; PI/PO names do (they bind option
+/// vectors and outputs).
+Hash128 structural_hash(const Network& net);
+
+/// Fingerprint of every FlowOptions field that can change a result,
+/// with per-PI probabilities/arrivals bound by PI *name* (so a permuted
+/// netlist with correspondingly permuted vectors fingerprints identically).
+/// Thread count is excluded — results are thread-count independent.
+Hash128 option_fingerprint(const FlowOptions& options, const Network& net);
+
+class FlowSession {
+ public:
+  explicit FlowSession(const Library& lib, EngineOptions options = {},
+                       SessionOptions session = {});
+  ~FlowSession();
+
+  FlowSession(const FlowSession&) = delete;
+  FlowSession& operator=(const FlowSession&) = delete;
+
+  /// All six methods of one prepared circuit, in Method order.
+  std::vector<FlowResult> run_circuit(const Network& prepared);
+
+  /// Fan out (circuit × method) over the pool; result [i] holds circuit i's
+  /// six methods in Method order. With caching enabled, memoized
+  /// decomposition groups and method results are reused across calls; when
+  /// `delta` is non-null it receives this run's cache traffic only.
+  std::vector<std::vector<FlowResult>> run_suite(
+      const std::vector<const Network*>& circuits,
+      SessionStats* delta = nullptr);
+
+  /// Per-request variants for the serve path: run with `flow` in place of
+  /// the session's default FlowOptions (the option fingerprint keys the
+  /// caches, so requests with different options never share entries).
+  /// Concurrent calls on one session are safe — caches and counters are
+  /// internally locked, and each call fans out its own workers.
+  std::vector<FlowResult> run_circuit(const Network& prepared,
+                                      const FlowOptions& flow,
+                                      SessionStats* delta);
+  std::vector<std::vector<FlowResult>> run_suite(
+      const std::vector<const Network*>& circuits, const FlowOptions& flow,
+      SessionStats* delta);
+
+  EngineCounters counters() const;
+  void reset_counters();
+
+  /// The thread count a run will actually use (resolves 0).
+  unsigned effective_threads() const;
+
+  /// Cumulative cache traffic (thread-safe snapshot).
+  SessionStats stats() const;
+
+  const Library& library() const { return lib_; }
+  const EngineOptions& options() const { return options_; }
+  bool caching() const { return session_options_.enable_cache; }
+
+ private:
+  struct Caches;  // LRU tables; defined in session.cpp
+
+  const Library& lib_;
+  EngineOptions options_;
+  SessionOptions session_options_;
+  std::unique_ptr<Caches> caches_;
+  /// Guards counters_ and stats_ (concurrent run_suite calls accumulate).
+  mutable std::mutex stats_mu_;
+  EngineCounters counters_;
+  SessionStats stats_;
+};
+
+/// Serialization policy for `write_flow_json`. The defaults produce the
+/// classic CLI/bench document; serve responses zero the wall-time fields
+/// and drop the (process-global, request-order-dependent) metrics snapshot
+/// so repeated identical requests yield byte-identical documents.
+struct FlowJsonPolicy {
+  bool include_metrics = true;
+  bool zero_wall_times = false;
+};
+
+/// Serialize per-circuit six-method results (plus engine pass counters and
+/// a `metrics` block snapshotting the global metrics registry) as the
+/// machine-readable flow-bench schema `minpower.flow.v1` — see
+/// DESIGN.md §"Flow engine" for the field list.
+void write_flow_json(std::ostream& os,
+                     const std::vector<std::vector<FlowResult>>& per_circuit,
+                     const EngineCounters& counters, unsigned num_threads,
+                     double elapsed_ms, const std::string& library_name,
+                     const FlowJsonPolicy& policy = {});
+
+}  // namespace minpower

@@ -1,0 +1,118 @@
+#include "serve/client.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "serve/net.hpp"
+
+namespace minpower::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderLine = 4096;
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+Client::Client() = default;
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+  if (connected()) return fail(error, "already connected");
+  fd_ = tcp_connect(host, port, error);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<LineReader>(fd_);
+  return true;
+}
+
+void Client::close() {
+  reader_.reset();
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+/// Parse `OK <nbytes> [k=v ...]` / `ERR <nbytes>` + body.
+bool Client::read_response(Response* out, std::string* error) {
+  *out = Response{};
+  std::string line;
+  if (reader_->read_line(&line, kMaxHeaderLine) != LineReader::Status::kOk)
+    return fail(error, "connection closed before a response arrived");
+  std::istringstream head(line);
+  std::string status;
+  std::uint64_t nbytes = 0;
+  if (!(head >> status >> nbytes) || (status != "OK" && status != "ERR"))
+    return fail(error, "malformed response header '" + line + "'");
+  out->ok = status == "OK";
+  std::string token;
+  while (head >> token) {
+    if (token.rfind("hits=", 0) == 0)
+      out->hits = std::strtoull(token.c_str() + 5, nullptr, 10);
+    else if (token.rfind("misses=", 0) == 0)
+      out->misses = std::strtoull(token.c_str() + 7, nullptr, 10);
+  }
+  if (nbytes != 0 &&
+      reader_->read_exact(&out->body, nbytes) != LineReader::Status::kOk)
+    return fail(error, "connection closed mid-response");
+  return true;
+}
+
+bool Client::flow(std::string_view blif,
+                  const std::vector<std::string>& options, Response* out,
+                  std::string* error) {
+  if (!connected()) return fail(error, "not connected");
+  std::string request = "FLOW " + std::to_string(blif.size());
+  for (const std::string& o : options) request += " " + o;
+  request += "\n";
+  request.append(blif);  // one send: don't let Nagle hold the body
+  if (!send_all(fd_, request))
+    return fail(error, "send failed (server gone?)");
+  return read_response(out, error);
+}
+
+bool Client::stats(Response* out, std::string* error) {
+  if (!connected()) return fail(error, "not connected");
+  if (!send_all(fd_, "STATS\n")) return fail(error, "send failed");
+  return read_response(out, error);
+}
+
+bool Client::ping(std::string* error) {
+  if (!connected()) return fail(error, "not connected");
+  if (!send_all(fd_, "PING\n")) return fail(error, "send failed");
+  std::string line;
+  if (reader_->read_line(&line, kMaxHeaderLine) != LineReader::Status::kOk)
+    return fail(error, "connection closed before PONG");
+  if (line != "PONG") return fail(error, "unexpected reply '" + line + "'");
+  return true;
+}
+
+bool Client::shutdown_server(std::string* error) {
+  if (!connected()) return fail(error, "not connected");
+  if (!send_all(fd_, "SHUTDOWN\n")) return fail(error, "send failed");
+  Response r;
+  if (!read_response(&r, error)) return false;
+  if (!r.ok) return fail(error, "server refused shutdown");
+  return true;
+}
+
+}  // namespace minpower::serve

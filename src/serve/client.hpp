@@ -1,0 +1,62 @@
+#pragma once
+// Client side of the `minpower serve` line protocol (serve/server.hpp):
+// frames requests, parses response headers, and reads length-prefixed
+// bodies. Used by the `minpower client` CLI verb and the serve tests.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minpower::serve {
+
+class LineReader;  // net.hpp
+
+/// One framed server response. `ok` reflects the OK/ERR status word; the
+/// body is a minpower.flow.v1 document (OK FLOW), a minpower.serve.v1
+/// stats document (OK STATS), or a minpower.serve.v1 error document (ERR).
+struct Response {
+  bool ok = false;
+  std::string body;
+  std::uint64_t hits = 0;    // cache hits of this request (FLOW only)
+  std::uint64_t misses = 0;  // cache misses of this request (FLOW only)
+};
+
+class Client {
+ public:
+  Client();  // out-of-line: LineReader is incomplete here
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Open a connection. False (with `error`) on failure; a connected
+  /// client reconnects only via close() + connect().
+  bool connect(const std::string& host, std::uint16_t port,
+               std::string* error);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// FLOW request: BLIF text + raw protocol option tokens ("key=value").
+  /// False only on transport failure; a server-side error is a successful
+  /// call with `out->ok == false` and the error document in `out->body`.
+  bool flow(std::string_view blif, const std::vector<std::string>& options,
+            Response* out, std::string* error);
+
+  bool stats(Response* out, std::string* error);
+  bool ping(std::string* error);
+
+  /// Ask the server to shut down (it answers before exiting).
+  bool shutdown_server(std::string* error);
+
+ private:
+  bool read_response(Response* out, std::string* error);
+
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;  // persists buffering across responses
+};
+
+}  // namespace minpower::serve

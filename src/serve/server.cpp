@@ -1,0 +1,433 @@
+#include "serve/server.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "io/blif.hpp"
+#include "serve/net.hpp"
+#include "trace/metrics.hpp"
+#include "util/json_writer.hpp"
+
+namespace minpower::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderLine = 4096;
+
+/// `ERR <nbytes>\n` + minpower.serve.v1 error body. `line` carries the BLIF
+/// parser's line number (0 elsewhere).
+std::string render_error(const std::string& message, int line) {
+  std::ostringstream body;
+  {
+    JsonWriter w(body);
+    w.begin_object();
+    w.field("schema", "minpower.serve.v1");
+    w.field("status", "error");
+    w.key("error");
+    w.begin_object();
+    w.field("message", message);
+    w.field("line", line);
+    w.end_object();
+    w.end_object();
+  }
+  body << '\n';
+  return body.str();
+}
+
+bool send_error(int fd, const std::string& message, int line = 0) {
+  const std::string body = render_error(message, line);
+  // One send per response: a header segment alone would sit in the Nagle
+  // buffer waiting for the client's delayed ACK.
+  return send_all(fd, "ERR " + std::to_string(body.size()) + "\n" + body);
+}
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream in(line);
+  std::string t;
+  while (in >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+/// Apply one FLOW `key=value` token onto the request's FlowOptions.
+bool apply_option(const std::string& token, FlowOptions* flow,
+                  std::string* error) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    *error = "bad option token '" + token + "' (want key=value)";
+    return false;
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string val = token.substr(eq + 1);
+  auto bad_value = [&] {
+    *error = "bad value '" + val + "' for option " + key;
+    return false;
+  };
+  std::uint64_t u = 0;
+  if (key == "deadline_ms") {
+    if (!parse_double(val, &flow->task_deadline_ms)) return bad_value();
+  } else if (key == "bdd_limit") {
+    if (!parse_u64(val, &u) || u == 0) return bad_value();
+    flow->bdd_node_limit = u;
+  } else if (key == "step_limit") {
+    if (!parse_u64(val, &u)) return bad_value();
+    flow->task_step_limit = u;
+  } else if (key == "vdd") {
+    if (!parse_double(val, &flow->vdd)) return bad_value();
+  } else if (key == "t_cycle") {
+    if (!parse_double(val, &flow->t_cycle)) return bad_value();
+  } else if (key == "po_load") {
+    if (!parse_double(val, &flow->po_load)) return bad_value();
+  } else if (key == "style") {
+    if (val == "static") flow->style = CircuitStyle::kStatic;
+    else if (val == "dynp") flow->style = CircuitStyle::kDynamicP;
+    else if (val == "dynn") flow->style = CircuitStyle::kDynamicN;
+    else return bad_value();
+  } else {
+    *error = "unknown option '" + key + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(const Library& lib, ServerOptions options)
+    : lib_(lib),
+      options_(std::move(options)),
+      session_(
+          lib,
+          EngineOptions{options_.flow, /*num_threads=*/1, {},
+                        options_.verbose},
+          options_.session) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail(std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    return fail("invalid host address " + options_.host);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return fail("bind " + options_.host + ":" +
+                std::to_string(options_.port) + ": " + std::strerror(errno));
+  if (::listen(listen_fd_, 128) != 0) return fail(std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0)
+    return fail(std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+
+  const unsigned workers = options_.workers != 0 ? options_.workers : 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ && listen_fd_ < 0 && workers_.empty()) return;
+    stopping_ = true;
+  }
+  // Unblock accept(): shutdown() first, then close.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+  // Reject anything still queued (accepted but never served).
+  std::deque<int> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    orphans.swap(pending_);
+  }
+  for (const int fd : orphans) {
+    send_error(fd, "server shutting down");
+    close_fd(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    shutdown_requested_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    wait_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  stop();
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.flow_ok = flow_ok_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.inflight_peak = inflight_peak_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) {
+        if (fd >= 0) close_fd(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener gone
+    }
+    set_nodelay(fd);
+    bool admitted = false;
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() < options_.max_pending) {
+        pending_.push_back(fd);
+        depth = pending_.size();
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      busy_rejections_.fetch_add(1, std::memory_order_relaxed);
+      metrics::counter("serve.busy_rejections").add(1);
+      send_error(fd, "server busy: pending queue full");
+      close_fd(fd);
+      continue;
+    }
+    std::uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+    while (depth > peak && !queue_depth_peak_.compare_exchange_weak(
+                               peak, depth, std::memory_order_relaxed)) {
+    }
+    metrics::gauge("serve.queue_depth_peak").record_max(depth);
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping, nothing left to drain
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    const std::uint64_t inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = inflight_peak_.load(std::memory_order_relaxed);
+    while (inflight > peak && !inflight_peak_.compare_exchange_weak(
+                                  peak, inflight, std::memory_order_relaxed)) {
+    }
+    metrics::gauge("serve.inflight_peak").record_max(inflight);
+    serve_connection(fd);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  LineReader reader(fd);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) break;
+    }
+    std::string line;
+    const LineReader::Status s = reader.read_line(&line, kMaxHeaderLine);
+    if (s == LineReader::Status::kOverflow) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics::counter("serve.errors").add(1);
+      send_error(fd, "header line too long");
+      break;
+    }
+    if (s != LineReader::Status::kOk) break;  // EOF / peer gone
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    metrics::counter("serve.requests").add(1);
+    if (options_.verbose)
+      std::fprintf(stderr, "[serve] %s\n",
+                   line.substr(0, line.find(' ')).c_str());
+
+    if (line == "PING") {
+      if (!send_all(fd, "PONG\n")) break;
+      continue;
+    }
+    if (line == "QUIT") break;
+    if (line == "SHUTDOWN") {
+      send_all(fd, "OK 0\n");
+      {
+        std::lock_guard<std::mutex> lock(wait_mu_);
+        shutdown_requested_ = true;
+      }
+      wait_cv_.notify_all();
+      break;
+    }
+    if (line == "STATS") {
+      const ServeStats st = stats();
+      const SessionStats ss = session_.stats();
+      std::ostringstream body;
+      {
+        JsonWriter w(body);
+        w.begin_object();
+        w.field("schema", "minpower.serve.v1");
+        w.field("status", "ok");
+        w.key("serve");
+        w.begin_object();
+        w.field("requests", st.requests);
+        w.field("flow_ok", st.flow_ok);
+        w.field("errors", st.errors);
+        w.field("busy_rejections", st.busy_rejections);
+        w.field("queue_depth_peak", st.queue_depth_peak);
+        w.field("inflight_peak", st.inflight_peak);
+        w.end_object();
+        w.key("session");
+        w.begin_object();
+        w.field("group_hits", ss.group_hits);
+        w.field("group_misses", ss.group_misses);
+        w.field("result_hits", ss.result_hits);
+        w.field("result_misses", ss.result_misses);
+        w.field("evictions", ss.evictions);
+        w.end_object();
+        w.end_object();
+      }
+      body << '\n';
+      const std::string text = body.str();
+      if (!send_all(fd, "OK " + std::to_string(text.size()) + "\n" + text))
+        break;
+      continue;
+    }
+    if (line.rfind("FLOW ", 0) == 0 || line == "FLOW") {
+      if (!handle_flow(fd, reader, line)) break;
+      continue;
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics::counter("serve.errors").add(1);
+    const std::string verb = line.substr(0, line.find(' '));
+    if (!send_error(fd, "unknown request '" + verb + "'")) break;
+  }
+  close_fd(fd);
+}
+
+/// One FLOW request. Returns false when the connection must close (framing
+/// lost or peer gone); a well-framed bad request answers ERR and returns
+/// true so the connection can carry the next request.
+bool Server::handle_flow(int fd, LineReader& reader, const std::string& line) {
+  auto err = [&](const std::string& message, int blif_line = 0) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics::counter("serve.errors").add(1);
+    return send_error(fd, message, blif_line);
+  };
+  const std::vector<std::string> toks = split_tokens(line);
+  std::uint64_t nbytes = 0;
+  if (toks.size() < 2 || !parse_u64(toks[1], &nbytes)) {
+    // Without a parsable length the body cannot be skipped: close.
+    err("malformed FLOW header (want: FLOW <nbytes> [key=value ...])");
+    return false;
+  }
+  if (nbytes == 0) {
+    err("empty FLOW payload");
+    return false;
+  }
+  if (nbytes > options_.max_request_bytes) {
+    err("payload too large (" + std::to_string(nbytes) + " > " +
+        std::to_string(options_.max_request_bytes) + " bytes)");
+    return false;
+  }
+  // Option errors are reported only after the body is consumed, so the
+  // connection stays usable.
+  FlowOptions flow = options_.flow;
+  std::string option_error;
+  for (std::size_t i = 2; i < toks.size(); ++i)
+    if (!apply_option(toks[i], &flow, &option_error)) break;
+
+  std::string blif;
+  if (reader.read_exact(&blif, nbytes) != LineReader::Status::kOk) {
+    // Truncated body: the client died mid-request.
+    err("truncated FLOW payload");
+    return false;
+  }
+  if (!option_error.empty()) return err(option_error);
+
+  BlifError blif_error;
+  std::optional<Network> net = try_read_blif_string(blif, &blif_error);
+  if (!net) return err(blif_error.message, blif_error.line);
+
+  try {
+    prepare_network(*net);
+    SessionStats delta;
+    const std::vector<FlowResult> results =
+        session_.run_circuit(*net, flow, &delta);
+
+    // Canonical one-shot rendering: the counters a cold single-circuit
+    // FlowEngine run reports, thread count 1, zeroed wall times, no metrics
+    // block — so a warm response is byte-identical to a cold one and to the
+    // one-shot CLI document under the same policy.
+    EngineCounters counters;
+    counters.decomp_passes = 3;
+    counters.activity_passes = 3;
+    counters.map_passes = 6;
+    FlowJsonPolicy policy;
+    policy.include_metrics = false;
+    policy.zero_wall_times = true;
+    std::ostringstream body;
+    write_flow_json(body, {results}, counters, /*num_threads=*/1,
+                    /*elapsed_ms=*/0.0, lib_.name(), policy);
+    const std::string text = body.str();
+    const std::string head =
+        "OK " + std::to_string(text.size()) +
+        " hits=" + std::to_string(delta.hits()) +
+        " misses=" + std::to_string(delta.group_misses + delta.result_misses) +
+        "\n";
+    if (!send_all(fd, head + text)) return false;
+    flow_ok_.fetch_add(1, std::memory_order_relaxed);
+    metrics::counter("serve.flow_ok").add(1);
+    return true;
+  } catch (const std::exception& e) {
+    return err(std::string("internal error: ") + e.what());
+  }
+}
+
+}  // namespace minpower::serve

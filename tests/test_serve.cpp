@@ -1,0 +1,245 @@
+// Line-protocol and robustness tests for `minpower serve` (serve/server.hpp):
+// well-formed requests round-trip, malformed requests (truncated BLIF,
+// oversized payload, bad option tokens, unknown verbs) answer structured
+// minpower.serve.v1 errors, a client vanishing mid-exchange never takes the
+// server down, and SHUTDOWN drains cleanly.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "helpers.hpp"
+#include "io/blif.hpp"
+#include "library/library.hpp"
+#include "serve/client.hpp"
+#include "serve/net.hpp"
+#include "serve/server.hpp"
+#include "util/json_reader.hpp"
+
+namespace minpower {
+namespace {
+
+std::string small_blif() {
+  std::ostringstream os;
+  write_blif(testing::random_network(42, /*num_pi=*/5, /*num_nodes=*/8,
+                                     /*num_po=*/2),
+             os);
+  return os.str();
+}
+
+/// Server bound to an ephemeral port for one test.
+struct ServeFixture {
+  explicit ServeFixture(serve::ServerOptions o = {})
+      : server(standard_library(), std::move(o)) {
+    std::string error;
+    EXPECT_TRUE(server.start(&error)) << error;
+  }
+  ~ServeFixture() { server.stop(); }
+
+  serve::Client connect() {
+    serve::Client c;
+    std::string error;
+    EXPECT_TRUE(c.connect("127.0.0.1", server.port(), &error)) << error;
+    return c;
+  }
+
+  serve::Server server;
+};
+
+/// Parse a minpower.serve.v1 error body and return error.message.
+std::string error_message(const std::string& body) {
+  std::string parse_error;
+  const auto doc = parse_json(body, &parse_error);
+  if (!doc) return "<unparsable: " + parse_error + ">";
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || schema->string != "minpower.serve.v1")
+    return "<wrong schema>";
+  if (const JsonValue* e = doc->find("error"))
+    if (const JsonValue* m = e->find("message")) return m->string;
+  return "<no message>";
+}
+
+TEST(Serve, PingFlowAndStatsRoundTrip) {
+  ServeFixture fx;
+  serve::Client c = fx.connect();
+  std::string error;
+  EXPECT_TRUE(c.ping(&error)) << error;
+
+  serve::Response r;
+  ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+  ASSERT_TRUE(r.ok) << r.body;
+  EXPECT_EQ(r.hits, 0u);
+  EXPECT_EQ(r.misses, 9u);  // 3 groups + 6 method results, all cold
+
+  std::string parse_error;
+  const auto doc = parse_json(r.body, &parse_error);
+  ASSERT_TRUE(doc.has_value()) << parse_error;
+  EXPECT_EQ(doc->find("schema")->string, "minpower.flow.v1");
+  const JsonValue* circuits = doc->find("circuits");
+  ASSERT_NE(circuits, nullptr);
+  ASSERT_EQ(circuits->items.size(), 1u);
+  EXPECT_EQ(circuits->items[0].find("name")->string, "rnd42");
+  // Serve responses omit the (request-order-dependent) metrics block and
+  // zero wall times, so identical requests are byte-identical.
+  EXPECT_EQ(doc->find("metrics"), nullptr);
+  EXPECT_EQ(doc->find("elapsed_ms")->number, 0.0);
+
+  // Same circuit again on the same connection: all hits, identical body.
+  serve::Response r2;
+  ASSERT_TRUE(c.flow(small_blif(), {}, &r2, &error)) << error;
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r2.hits, 6u);  // all six method results; groups never consulted
+  EXPECT_EQ(r2.misses, 0u);
+  EXPECT_EQ(r.body, r2.body);
+
+  serve::Response st;
+  ASSERT_TRUE(c.stats(&st, &error)) << error;
+  ASSERT_TRUE(st.ok);
+  const auto stats_doc = parse_json(st.body, &parse_error);
+  ASSERT_TRUE(stats_doc.has_value()) << parse_error;
+  EXPECT_EQ(stats_doc->find("schema")->string, "minpower.serve.v1");
+  EXPECT_GE(stats_doc->find("session")->find("result_hits")->number, 6.0);
+}
+
+TEST(Serve, FlowOptionsChangeTheCacheKey) {
+  ServeFixture fx;
+  serve::Client c = fx.connect();
+  std::string error;
+  serve::Response r;
+  ASSERT_TRUE(c.flow(small_blif(), {"vdd=3.3"}, &r, &error)) << error;
+  ASSERT_TRUE(r.ok) << r.body;
+  EXPECT_EQ(r.misses, 9u);
+  // Different options: a fresh fingerprint, no sharing with the first run.
+  serve::Response r2;
+  ASSERT_TRUE(c.flow(small_blif(), {"vdd=5.0"}, &r2, &error)) << error;
+  ASSERT_TRUE(r2.ok) << r2.body;
+  EXPECT_EQ(r2.hits, 0u);
+  EXPECT_NE(r.body, r2.body);  // power scales with vdd²
+}
+
+TEST(Serve, MalformedRequestsAnswerStructuredErrors) {
+  ServeFixture fx;
+
+  {  // Bad option token: framing intact, connection stays usable.
+    serve::Client c = fx.connect();
+    std::string error;
+    serve::Response r;
+    ASSERT_TRUE(c.flow(small_blif(), {"frobnicate=1"}, &r, &error)) << error;
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(error_message(r.body).find("unknown option"), std::string::npos)
+        << r.body;
+    ASSERT_TRUE(c.flow(small_blif(), {"deadline_ms=bogus"}, &r, &error))
+        << error;
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(error_message(r.body).find("bad value"), std::string::npos);
+    ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+    EXPECT_TRUE(r.ok) << "connection unusable after option errors";
+  }
+
+  {  // Malformed BLIF payload: parser error with a line number.
+    serve::Client c = fx.connect();
+    std::string error;
+    serve::Response r;
+    ASSERT_TRUE(
+        c.flow(".model broken\n.inputs a\n.outputs z\n.names a z\n2 1\n.end\n",
+               {}, &r, &error))
+        << error;
+    EXPECT_FALSE(r.ok);
+    std::string parse_error;
+    const auto doc = parse_json(r.body, &parse_error);
+    ASSERT_TRUE(doc.has_value()) << parse_error;
+    EXPECT_GT(doc->find("error")->find("line")->number, 0.0);
+    // BlifError plumbing reached the response; connection still alive.
+    ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+    EXPECT_TRUE(r.ok);
+  }
+
+  {  // Oversized payload: rejected without reading the body.
+    serve::ServerOptions so;
+    so.max_request_bytes = 128;
+    ServeFixture small(so);
+    serve::Client c = small.connect();
+    std::string error;
+    serve::Response r;
+    ASSERT_TRUE(c.flow(std::string(4096, 'x'), {}, &r, &error)) << error;
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(error_message(r.body).find("payload too large"),
+              std::string::npos);
+  }
+
+  {  // Unknown verb and unparsable header keep the server alive.
+    const int fd = serve::tcp_connect("127.0.0.1", fx.server.port(), nullptr);
+    ASSERT_GE(fd, 0);
+    serve::LineReader reader(fd);
+    ASSERT_TRUE(serve::send_all(fd, "MAKE COFFEE\n"));
+    std::string line;
+    ASSERT_EQ(reader.read_line(&line, 4096), serve::LineReader::Status::kOk);
+    EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+    ASSERT_TRUE(serve::send_all(fd, "FLOW notanumber\n"));
+    // Skip the previous error body, then expect the header error.
+    std::string body;
+    reader.read_exact(&body, std::strtoull(line.c_str() + 4, nullptr, 10));
+    ASSERT_EQ(reader.read_line(&line, 4096), serve::LineReader::Status::kOk);
+    EXPECT_EQ(line.rfind("ERR ", 0), 0u);
+    serve::close_fd(fd);
+  }
+
+  // After all of the above the server still answers.
+  serve::Client c = fx.connect();
+  std::string error;
+  EXPECT_TRUE(c.ping(&error)) << error;
+}
+
+TEST(Serve, TruncatedPayloadAndMidResponseDisconnectKeepServerUp) {
+  ServeFixture fx;
+
+  {  // Truncated BLIF mid-request: client claims 500 bytes, sends 20, hangs
+     // up. The server answers a structured error (best effort) and closes.
+    const int fd = serve::tcp_connect("127.0.0.1", fx.server.port(), nullptr);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(serve::send_all(fd, "FLOW 500\n.model truncated\n"));
+    ::shutdown(fd, SHUT_WR);
+    serve::LineReader reader(fd);
+    std::string line;
+    if (reader.read_line(&line, 4096) == serve::LineReader::Status::kOk)
+      EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+    serve::close_fd(fd);
+  }
+
+  {  // Disconnect without reading the response at all.
+    const int fd = serve::tcp_connect("127.0.0.1", fx.server.port(), nullptr);
+    ASSERT_GE(fd, 0);
+    const std::string blif = small_blif();
+    ASSERT_TRUE(serve::send_all(
+        fd, "FLOW " + std::to_string(blif.size()) + "\n" + blif));
+    serve::close_fd(fd);  // gone before the response lands
+  }
+
+  // Server survives both and still serves full requests.
+  serve::Client c = fx.connect();
+  std::string error;
+  serve::Response r;
+  ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(Serve, ShutdownRequestEndsWait) {
+  auto* fx = new ServeFixture();
+  serve::Client c = fx->connect();
+  std::string error;
+  ASSERT_TRUE(c.shutdown_server(&error)) << error;
+  fx->server.wait();  // returns only once the shutdown request lands
+  const serve::ServeStats stats = fx->server.stats();
+  EXPECT_GE(stats.requests, 1u);
+  delete fx;  // ~Server() stop() is idempotent after wait()
+
+  // Port is released: nothing is listening anymore.
+  serve::Client again;
+  EXPECT_FALSE(again.connect("127.0.0.1", 1, &error));
+}
+
+}  // namespace
+}  // namespace minpower

@@ -32,6 +32,19 @@
 //                                                  over two minpower.flow.v1
 //                                                  reports
 //                                                  (minpower.compare.v1)
+//   minpower serve  [--port N] [--host H] [--workers N] [--deadline-ms T]
+//                   [--bdd-limit N] [--genlib lib.genlib] [--verbose]
+//                                                  persistent synthesis
+//                                                  service with cross-request
+//                                                  caching (port 0 =
+//                                                  ephemeral; the bound port
+//                                                  is printed on stdout)
+//   minpower client --port N [--host H] <in.blif>... [--json out.json]
+//                   [--deadline-ms T] [--bdd-limit N] [--stats] [--shutdown]
+//                                                  submit circuits to a
+//                                                  running server; responses
+//                                                  are merged into one
+//                                                  minpower.flow.v1 document
 //
 // Every subcommand reads plain BLIF; `map -o` writes the SIS .gate dialect.
 //
@@ -64,9 +77,13 @@
 #include "power/simulate.hpp"
 #include "prob/sequential.hpp"
 #include "report/baseline.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sop/factor.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
 #include "util/strings.hpp"
 #include "verify/verify.hpp"
 
@@ -101,6 +118,11 @@ struct Args {
   double time_band = 0.20;    // compare: allowed slowdown (+20%)
   bool require_all = false;   // compare: missing cells are regressions
   bool qor_only = false;      // compare: skip the metrics-registry block
+  int port = -1;              // serve/client: -1 = unset (serve → ephemeral)
+  std::string host = "127.0.0.1";
+  unsigned workers = 4;       // serve: request worker threads
+  bool client_stats = false;     // client: print server stats after requests
+  bool client_shutdown = false;  // client: ask the server to exit at the end
 };
 
 /// Fatal usage / input problems throw; main() turns them into exit code 1.
@@ -142,6 +164,12 @@ Args parse_args(int argc, char** argv, int first) {
       a.time_band = std::stod(value("--time-band"));
     else if (arg == "--require-all") a.require_all = true;
     else if (arg == "--qor-only") a.qor_only = true;
+    else if (arg == "--port") a.port = std::stoi(value("--port"));
+    else if (arg == "--host") a.host = value("--host");
+    else if (arg == "--workers")
+      a.workers = static_cast<unsigned>(std::stoul(value("--workers")));
+    else if (arg == "--stats") a.client_stats = true;
+    else if (arg == "--shutdown") a.client_shutdown = true;
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -491,13 +519,191 @@ int cmd_compare(const Args& a) {
   return r.regression() ? 3 : 0;
 }
 
+int cmd_serve(const Args& a) {
+  const Library lib = load_library(a);
+  serve::ServerOptions o;
+  o.host = a.host;
+  if (a.port > 0) o.port = static_cast<std::uint16_t>(a.port);
+  o.workers = a.workers;
+  o.flow.task_deadline_ms = a.deadline_ms;
+  if (a.bdd_limit != 0) o.flow.bdd_node_limit = a.bdd_limit;
+  o.verbose = a.verbose;
+  serve::Server server(lib, o);
+  std::string error;
+  if (!server.start(&error)) fatal(error);
+  // Scripts parse this line for the (possibly ephemeral) port.
+  std::printf("minpower serve: listening on %s:%u (%u workers)\n",
+              o.host.c_str(), server.port(), o.workers);
+  std::fflush(stdout);
+  server.wait();
+  const serve::ServeStats s = server.stats();
+  const SessionStats ss = server.session().stats();
+  std::fprintf(stderr,
+               "serve: %llu requests (%llu flow ok, %llu errors, %llu busy); "
+               "cache hits=%llu misses=%llu evictions=%llu\n",
+               static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.flow_ok),
+               static_cast<unsigned long long>(s.errors),
+               static_cast<unsigned long long>(s.busy_rejections),
+               static_cast<unsigned long long>(ss.group_hits + ss.result_hits),
+               static_cast<unsigned long long>(ss.group_misses +
+                                               ss.result_misses),
+               static_cast<unsigned long long>(ss.evictions));
+  return 0;
+}
+
+/// Re-emit a parsed JSON value (used to splice per-request response
+/// documents into one merged report).
+void emit_json_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull: w.null(); break;
+    case JsonValue::Kind::kBool: w.value(v.boolean); break;
+    case JsonValue::Kind::kNumber: w.value(v.number); break;
+    case JsonValue::Kind::kString: w.value(v.string); break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items) emit_json_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.members) {
+        w.key(key);
+        emit_json_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+int cmd_client(const Args& a) {
+  if (a.port <= 0) fatal("client needs --port (a running `minpower serve`)");
+  serve::Client client;
+  std::string error;
+  if (!client.connect(a.host, static_cast<std::uint16_t>(a.port), &error))
+    fatal(error);
+
+  std::vector<std::string> tokens;
+  if (a.deadline_ms > 0.0)
+    tokens.push_back("deadline_ms=" + std::to_string(a.deadline_ms));
+  if (a.bdd_limit != 0)
+    tokens.push_back("bdd_limit=" + std::to_string(a.bdd_limit));
+
+  // One FLOW request per file; each OK body is a single-circuit
+  // minpower.flow.v1 document.
+  std::vector<JsonValue> docs;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const std::string& path : a.positional) {
+    serve::Response r;
+    if (!client.flow(slurp(path, "BLIF file"), tokens, &r, &error))
+      fatal(error);
+    hits += r.hits;
+    misses += r.misses;
+    std::string parse_error;
+    auto doc = parse_json(r.body, &parse_error);
+    if (!doc) fatal(path + ": unparsable server response: " + parse_error);
+    if (!r.ok) {
+      std::string message = "request failed";
+      if (const JsonValue* e = doc->find("error"))
+        if (const JsonValue* m = e->find("message");
+            m != nullptr && m->kind == JsonValue::Kind::kString)
+          message = m->string;
+      fatal(path + ": server error: " + message);
+    }
+    docs.push_back(std::move(*doc));
+  }
+
+  auto num_field = [](const JsonValue& obj, const char* section,
+                      const char* key) -> double {
+    const JsonValue* s = obj.find(section);
+    if (s == nullptr) return 0.0;
+    const JsonValue* v = s->find(key);
+    return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                               : 0.0;
+  };
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;
+  EngineCounters counters;
+  for (const JsonValue& d : docs) {
+    ok += static_cast<int>(num_field(d, "tasks", "ok"));
+    degraded += static_cast<int>(num_field(d, "tasks", "degraded"));
+    failed += static_cast<int>(num_field(d, "tasks", "failed"));
+    counters.decomp_passes +=
+        static_cast<int>(num_field(d, "engine", "decomp_passes"));
+    counters.activity_passes +=
+        static_cast<int>(num_field(d, "engine", "activity_passes"));
+    counters.map_passes +=
+        static_cast<int>(num_field(d, "engine", "map_passes"));
+  }
+
+  if (!docs.empty()) {
+    std::string library = "?";
+    if (const JsonValue* l = docs.front().find("library");
+        l != nullptr && l->kind == JsonValue::Kind::kString)
+      library = l->string;
+    std::ostringstream merged;
+    {
+      JsonWriter w(merged);
+      w.begin_object();
+      w.field("schema", "minpower.flow.v1");
+      w.field("library", library);
+      w.field("num_threads", 1);
+      w.field("elapsed_ms", 0.0);
+      w.key("engine");
+      w.begin_object();
+      w.field("decomp_passes", counters.decomp_passes);
+      w.field("activity_passes", counters.activity_passes);
+      w.field("map_passes", counters.map_passes);
+      w.end_object();
+      w.key("tasks");
+      w.begin_object();
+      w.field("ok", ok);
+      w.field("degraded", degraded);
+      w.field("failed", failed);
+      w.end_object();
+      w.key("circuits");
+      w.begin_array();
+      for (const JsonValue& d : docs)
+        if (const JsonValue* circuits = d.find("circuits");
+            circuits != nullptr && circuits->kind == JsonValue::Kind::kArray)
+          for (const JsonValue& c : circuits->items) emit_json_value(w, c);
+      w.end_array();
+      w.end_object();
+    }
+    merged << '\n';
+    if (a.json) {
+      std::ofstream out(*a.json);
+      if (!out.good()) fatal("cannot open JSON output file " + *a.json);
+      out << merged.str();
+    } else {
+      std::cout << merged.str();
+    }
+  }
+
+  if (a.client_stats) {
+    serve::Response r;
+    if (!client.stats(&r, &error)) fatal(error);
+    std::fputs(r.body.c_str(), stderr);
+  }
+  if (a.client_shutdown && !client.shutdown_server(&error)) fatal(error);
+  std::fprintf(stderr,
+               "client: %zu circuits via %s:%d; cache hits=%llu misses=%llu; "
+               "tasks: %d ok, %d degraded, %d failed\n",
+               docs.size(), a.host.c_str(), a.port,
+               static_cast<unsigned long long>(hits),
+               static_cast<unsigned long long>(misses), ok, degraded, failed);
+  return degraded + failed > 0 ? 2 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: minpower <stats|opt|decomp|map|flow|verify|bench|"
-                 "profile|compare> ...\n");
+                 "profile|compare|serve|client> ...\n");
     return 1;
   }
   try {
@@ -512,6 +718,8 @@ int main(int argc, char** argv) {
     if (cmd == "bench") return cmd_bench(a);
     if (cmd == "profile") return cmd_profile(a);
     if (cmd == "compare") return cmd_compare(a);
+    if (cmd == "serve") return cmd_serve(a);
+    if (cmd == "client") return cmd_client(a);
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     return 1;
   } catch (const std::exception& e) {
