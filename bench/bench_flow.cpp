@@ -5,14 +5,17 @@
 // BENCH_flow.json (schema minpower.flow.v1; see DESIGN.md), plus a
 // human-readable summary table.
 //
-//   bench_flow [out.json] [max_circuits] [num_threads]
+//   bench_flow [out.json] [max_circuits] [num_threads] [shards]
 //
-// Defaults: BENCH_flow.json, the full suite, hardware concurrency.
-// max_circuits must be ≥ 1 (a prefix of the 17-circuit suite);
+// Defaults: BENCH_flow.json, the full suite, hardware concurrency,
+// in-process. max_circuits must be ≥ 1 (a prefix of the 17-circuit suite);
 // num_threads must be a non-negative integer (0 = hardware concurrency).
+// shards > 0 runs the crash-isolated multi-process supervisor instead of
+// the in-process engine (DESIGN.md §14); the report is then rendered
+// canonically (no metrics block, zeroed wall times).
 // Set MINPOWER_TRACE=<file> to also record a Chrome trace of the run
 // (chrome://tracing / ui.perfetto.dev); the JSON report always carries the
-// metrics-registry snapshot in its `metrics` block.
+// metrics-registry snapshot in its `metrics` block (in-process runs only).
 
 #include <cerrno>
 #include <chrono>
@@ -23,6 +26,7 @@
 
 #include "bench_util.hpp"
 #include "flow/flow_engine.hpp"
+#include "shard/supervisor.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
 
@@ -31,10 +35,12 @@ using namespace minpower;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: bench_flow [out.json] [max_circuits] [num_threads]\n"
+    "usage: bench_flow [out.json] [max_circuits] [num_threads] [shards]\n"
     "  out.json      report path (minpower.flow.v1; default BENCH_flow.json)\n"
     "  max_circuits  suite prefix to run, >= 1 (default: all 17)\n"
     "  num_threads   worker threads, 0 = hardware concurrency (default 0)\n"
+    "  shards        fork N crash-isolated worker processes (default 0 =\n"
+    "                in-process engine)\n"
     "env: MINPOWER_TRACE=<file> records a Chrome trace of the run\n";
 
 /// Strict decimal parse: the whole argument must be digits (no sign, no
@@ -65,7 +71,7 @@ int main(int argc, char** argv) {
       std::fputs(kUsage, stdout);
       return 0;
     }
-  if (argc > 4) usage_error("too many arguments");
+  if (argc > 5) usage_error("too many arguments");
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_flow.json";
   std::size_t max_circuits = SIZE_MAX;
   if (argc > 2) {
@@ -86,11 +92,51 @@ int main(int argc, char** argv) {
                   argv[3] + "'");
     threads = static_cast<unsigned>(v);
   }
+  unsigned shards = 0;
+  if (argc > 4) {
+    std::uint64_t v = 0;
+    if (!parse_u64(argv[4], &v) || v > 1u << 10)
+      usage_error(std::string("shards must be an integer in [0, 1024], "
+                              "got '") +
+                  argv[4] + "'");
+    shards = static_cast<unsigned>(v);
+  }
 
   std::vector<Network> suite = bench::prepared_suite();
   if (suite.size() > max_circuits) suite.resize(max_circuits);
   std::vector<const Network*> circuits;
   for (const Network& net : suite) circuits.push_back(&net);
+
+  if (shards > 0) {
+    shard::ShardOptions so;
+    so.shards = shards;
+    so.worker_threads = threads == 0 ? 1 : threads;
+    shard::ShardRun run;
+    std::string error;
+    const auto s0 = std::chrono::steady_clock::now();
+    if (!shard::run_sharded_suite(circuits, standard_library(), FlowOptions{}, so,
+                           &run, &error)) {
+      std::fprintf(stderr, "bench_flow: %s\n", error.c_str());
+      return 1;
+    }
+    const double sharded_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - s0)
+            .count();
+    std::printf("shards: %u spawned, %u crashes, %u restarts; cells: %zu "
+                "computed, %zu failed (%zu circuits × 6 methods), %.1f ms\n",
+                run.stats.workers_spawned, run.stats.worker_crashes,
+                run.stats.worker_restarts, run.stats.cells_computed,
+                run.stats.cells_failed, circuits.size(), sharded_ms);
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    shard::write_sharded_flow_json(out, run, shards, standard_library().name());
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
 
   EngineOptions eo;
   eo.num_threads = threads;

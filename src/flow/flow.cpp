@@ -35,6 +35,17 @@ const char* method_name(Method m) {
   return "?";
 }
 
+bool method_from_name(const std::string& name, Method* out) {
+  for (const Method m : {Method::kI, Method::kII, Method::kIII, Method::kIV,
+                         Method::kV, Method::kVI}) {
+    if (name == method_name(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* task_state_name(TaskState s) {
   switch (s) {
     case TaskState::kOk:
@@ -45,6 +56,17 @@ const char* task_state_name(TaskState s) {
       return "failed";
   }
   return "?";
+}
+
+bool task_state_from_name(const std::string& name, TaskState* out) {
+  for (const TaskState s :
+       {TaskState::kOk, TaskState::kDegraded, TaskState::kFailed}) {
+    if (name == task_state_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 void prepare_network(Network& net) { rugged_lite(net); }

@@ -33,6 +33,9 @@ enum class Method { kI, kII, kIII, kIV, kV, kVI };
 
 const char* method_name(Method m);
 
+/// Inverse of method_name ("I".."VI"); false when `name` is not a method.
+bool method_from_name(const std::string& name, Method* out);
+
 /// Outcome of one fault-isolated engine task.
 ///   ok       — completed on the primary path;
 ///   degraded — completed, but on a fallback (MC activities, heuristic
@@ -41,6 +44,9 @@ const char* method_name(Method m);
 enum class TaskState { kOk, kDegraded, kFailed };
 
 const char* task_state_name(TaskState s);
+
+/// Inverse of task_state_name ("ok"/"degraded"/"failed"); false otherwise.
+bool task_state_from_name(const std::string& name, TaskState* out);
 
 struct TaskStatus {
   TaskState state = TaskState::kOk;

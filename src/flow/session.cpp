@@ -17,6 +17,7 @@
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/budget.hpp"
+#include "util/json_reader.hpp"
 #include "util/json_writer.hpp"
 
 namespace minpower {
@@ -837,52 +838,174 @@ void write_flow_json(std::ostream& os,
     w.field("status", task_state_name(worst_of(methods)));
     w.key("methods");
     w.begin_array();
-    for (const FlowResult& r : methods) {
-      w.begin_object();
-      w.field("method", method_name(r.method));
-      w.field("area", r.area);
-      w.field("delay_ns", r.delay);
-      w.field("power_uw", r.power_uw);
-      w.field("gates", r.gates);
-      w.field("tree_activity", r.tree_activity);
-      w.field("nand_depth", r.nand_depth);
-      w.field("nand_nodes", r.nand_nodes);
-      w.field("redecomposed", r.redecomposed);
-      w.key("status");
-      w.begin_object();
-      w.field("state", task_state_name(r.status.state));
-      w.field("reason", r.status.reason);
-      w.field("retries", r.status.retries);
-      w.key("fallbacks");
-      w.begin_array();
-      for (const std::string& f : r.status.fallbacks) w.value(f);
-      w.end_array();
-      w.end_object();
-      w.key("phases");
-      w.begin_object();
-      w.field("decomp_ms", wall(r.phases.decomp_ms));
-      w.field("activity_ms", wall(r.phases.activity_ms));
-      w.field("map_ms", wall(r.phases.map_ms));
-      w.field("eval_ms", wall(r.phases.eval_ms));
-      w.field("bdd_nodes", r.phases.bdd_nodes);
-      w.field("matches", r.phases.matches);
-      w.field("curve_points", r.phases.curve_points);
-      w.field("redecomp_iterations", r.phases.redecomp_iterations);
-      w.field("shared_decomp", r.phases.shared_decomp);
-      w.field("shared_activity", r.phases.shared_activity);
-      w.field("decomp_passes", r.phases.decomp_passes);
-      w.field("activity_passes", r.phases.activity_passes);
-      w.field("exact_fallbacks", r.phases.exact_fallbacks);
-      w.field("activity_retries", r.phases.activity_retries);
-      w.end_object();
-      w.end_object();
-    }
+    for (const FlowResult& r : methods) write_flow_result_json(w, r, policy);
     w.end_array();
     w.end_object();
   }
   w.end_array();
   w.end_object();
   os << '\n';
+}
+
+void write_flow_result_json(JsonWriter& w, const FlowResult& r,
+                            const FlowJsonPolicy& policy) {
+  const auto wall = [&policy](double ms) {
+    return policy.zero_wall_times ? 0.0 : ms;
+  };
+  w.begin_object();
+  w.field("method", method_name(r.method));
+  w.field("area", r.area);
+  w.field("delay_ns", r.delay);
+  w.field("power_uw", r.power_uw);
+  w.field("gates", r.gates);
+  w.field("tree_activity", r.tree_activity);
+  w.field("nand_depth", r.nand_depth);
+  w.field("nand_nodes", r.nand_nodes);
+  w.field("redecomposed", r.redecomposed);
+  w.key("status");
+  w.begin_object();
+  w.field("state", task_state_name(r.status.state));
+  w.field("reason", r.status.reason);
+  w.field("retries", r.status.retries);
+  w.key("fallbacks");
+  w.begin_array();
+  for (const std::string& f : r.status.fallbacks) w.value(f);
+  w.end_array();
+  w.end_object();
+  w.key("phases");
+  w.begin_object();
+  w.field("decomp_ms", wall(r.phases.decomp_ms));
+  w.field("activity_ms", wall(r.phases.activity_ms));
+  w.field("map_ms", wall(r.phases.map_ms));
+  w.field("eval_ms", wall(r.phases.eval_ms));
+  w.field("bdd_nodes", r.phases.bdd_nodes);
+  w.field("matches", r.phases.matches);
+  w.field("curve_points", r.phases.curve_points);
+  w.field("redecomp_iterations", r.phases.redecomp_iterations);
+  w.field("shared_decomp", r.phases.shared_decomp);
+  w.field("shared_activity", r.phases.shared_activity);
+  w.field("decomp_passes", r.phases.decomp_passes);
+  w.field("activity_passes", r.phases.activity_passes);
+  w.field("exact_fallbacks", r.phases.exact_fallbacks);
+  w.field("activity_retries", r.phases.activity_retries);
+  w.end_object();
+  w.end_object();
+}
+
+namespace {
+
+bool cell_fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+const JsonValue* cell_member(const JsonValue& obj, const char* key,
+                             JsonValue::Kind kind, std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != kind) {
+    cell_fail(error, std::string("missing or mistyped field '") + key + "'");
+    return nullptr;
+  }
+  return v;
+}
+
+bool cell_number(const JsonValue& obj, const char* key, double* out,
+                 std::string* error) {
+  const JsonValue* v =
+      cell_member(obj, key, JsonValue::Kind::kNumber, error);
+  if (v == nullptr) return false;
+  *out = v->number;
+  return true;
+}
+
+bool cell_int(const JsonValue& obj, const char* key, int* out,
+              std::string* error) {
+  double d = 0.0;
+  if (!cell_number(obj, key, &d, error)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool cell_size(const JsonValue& obj, const char* key, std::size_t* out,
+               std::string* error) {
+  double d = 0.0;
+  if (!cell_number(obj, key, &d, error)) return false;
+  *out = static_cast<std::size_t>(d);
+  return true;
+}
+
+bool cell_bool(const JsonValue& obj, const char* key, bool* out,
+               std::string* error) {
+  const JsonValue* v = cell_member(obj, key, JsonValue::Kind::kBool, error);
+  if (v == nullptr) return false;
+  *out = v->boolean;
+  return true;
+}
+
+}  // namespace
+
+bool parse_flow_result_json(const JsonValue& v, FlowResult* out,
+                            std::string* error) {
+  *out = FlowResult{};
+  if (v.kind != JsonValue::Kind::kObject)
+    return cell_fail(error, "method cell is not an object");
+  const JsonValue* method =
+      cell_member(v, "method", JsonValue::Kind::kString, error);
+  if (method == nullptr) return false;
+  if (!method_from_name(method->string, &out->method))
+    return cell_fail(error, "unknown method '" + method->string + "'");
+  if (!cell_number(v, "area", &out->area, error) ||
+      !cell_number(v, "delay_ns", &out->delay, error) ||
+      !cell_number(v, "power_uw", &out->power_uw, error) ||
+      !cell_size(v, "gates", &out->gates, error) ||
+      !cell_number(v, "tree_activity", &out->tree_activity, error) ||
+      !cell_int(v, "nand_depth", &out->nand_depth, error) ||
+      !cell_size(v, "nand_nodes", &out->nand_nodes, error) ||
+      !cell_int(v, "redecomposed", &out->redecomposed, error))
+    return false;
+
+  const JsonValue* status =
+      cell_member(v, "status", JsonValue::Kind::kObject, error);
+  if (status == nullptr) return false;
+  const JsonValue* state =
+      cell_member(*status, "state", JsonValue::Kind::kString, error);
+  if (state == nullptr) return false;
+  if (!task_state_from_name(state->string, &out->status.state))
+    return cell_fail(error, "unknown task state '" + state->string + "'");
+  const JsonValue* reason =
+      cell_member(*status, "reason", JsonValue::Kind::kString, error);
+  if (reason == nullptr) return false;
+  out->status.reason = reason->string;
+  if (!cell_int(*status, "retries", &out->status.retries, error))
+    return false;
+  const JsonValue* fallbacks =
+      cell_member(*status, "fallbacks", JsonValue::Kind::kArray, error);
+  if (fallbacks == nullptr) return false;
+  for (const JsonValue& f : fallbacks->items) {
+    if (f.kind != JsonValue::Kind::kString)
+      return cell_fail(error, "non-string fallback entry");
+    out->status.fallbacks.push_back(f.string);
+  }
+
+  const JsonValue* phases =
+      cell_member(v, "phases", JsonValue::Kind::kObject, error);
+  if (phases == nullptr) return false;
+  PhaseStats& p = out->phases;
+  return cell_number(*phases, "decomp_ms", &p.decomp_ms, error) &&
+         cell_number(*phases, "activity_ms", &p.activity_ms, error) &&
+         cell_number(*phases, "map_ms", &p.map_ms, error) &&
+         cell_number(*phases, "eval_ms", &p.eval_ms, error) &&
+         cell_size(*phases, "bdd_nodes", &p.bdd_nodes, error) &&
+         cell_size(*phases, "matches", &p.matches, error) &&
+         cell_size(*phases, "curve_points", &p.curve_points, error) &&
+         cell_int(*phases, "redecomp_iterations", &p.redecomp_iterations,
+                  error) &&
+         cell_bool(*phases, "shared_decomp", &p.shared_decomp, error) &&
+         cell_bool(*phases, "shared_activity", &p.shared_activity, error) &&
+         cell_int(*phases, "decomp_passes", &p.decomp_passes, error) &&
+         cell_int(*phases, "activity_passes", &p.activity_passes, error) &&
+         cell_int(*phases, "exact_fallbacks", &p.exact_fallbacks, error) &&
+         cell_int(*phases, "activity_retries", &p.activity_retries, error);
 }
 
 }  // namespace minpower

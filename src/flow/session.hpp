@@ -40,6 +40,9 @@
 
 namespace minpower {
 
+class JsonWriter;   // util/json_writer.hpp
+struct JsonValue;   // util/json_reader.hpp
+
 struct EngineOptions {
   FlowOptions flow;
   /// Worker threads (0 → hardware concurrency). 1 runs inline.
@@ -178,5 +181,20 @@ void write_flow_json(std::ostream& os,
                      const EngineCounters& counters, unsigned num_threads,
                      double elapsed_ms, const std::string& library_name,
                      const FlowJsonPolicy& policy = {});
+
+/// Render one method cell exactly as it appears in the `methods[]` array of
+/// `minpower.flow.v1` (the inner loop of write_flow_json). The shard journal
+/// and the pipe protocol between shard workers and the supervisor serialize
+/// cells through this single path, so a result that round-trips through
+/// parse_flow_result_json re-renders byte-identically (doubles are emitted
+/// as %.17g, which strtod recovers exactly).
+void write_flow_result_json(JsonWriter& w, const FlowResult& r,
+                            const FlowJsonPolicy& policy = {});
+
+/// Inverse of write_flow_result_json over a parsed JSON object. The circuit
+/// name is not part of the method object; callers fill `out->circuit`.
+/// False (with `error`) on a missing/mistyped field or unknown enum name.
+bool parse_flow_result_json(const JsonValue& v, FlowResult* out,
+                            std::string* error);
 
 }  // namespace minpower

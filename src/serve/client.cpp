@@ -1,9 +1,16 @@
 #include "serve/client.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <random>
 #include <sstream>
+#include <thread>
 
 #include "serve/net.hpp"
+#include "util/json_reader.hpp"
 
 namespace minpower::serve {
 
@@ -18,12 +25,26 @@ bool fail(std::string* error, const std::string& message) {
 
 }  // namespace
 
+bool response_retryable(const Response& r) {
+  if (r.ok) return false;
+  std::string parse_error;
+  const std::optional<JsonValue> doc = parse_json(r.body, &parse_error);
+  if (!doc) return false;
+  const JsonValue* err = doc->find("error");
+  if (err == nullptr || err->kind != JsonValue::Kind::kObject) return false;
+  const JsonValue* retryable = err->find("retryable");
+  return retryable != nullptr && retryable->kind == JsonValue::Kind::kBool &&
+         retryable->boolean;
+}
+
 Client::Client() = default;
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+    : fd_(other.fd_),
+      response_timeout_ms_(other.response_timeout_ms_),
+      reader_(std::move(other.reader_)) {
   other.fd_ = -1;
 }
 
@@ -31,6 +52,7 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    response_timeout_ms_ = other.response_timeout_ms_;
     reader_ = std::move(other.reader_);
     other.fd_ = -1;
   }
@@ -42,8 +64,43 @@ bool Client::connect(const std::string& host, std::uint16_t port,
   if (connected()) return fail(error, "already connected");
   fd_ = tcp_connect(host, port, error);
   if (fd_ < 0) return false;
+  if (response_timeout_ms_ > 0) set_recv_timeout(fd_, response_timeout_ms_);
   reader_ = std::make_unique<LineReader>(fd_);
   return true;
+}
+
+bool Client::connect_with_retry(const std::string& host, std::uint16_t port,
+                                const RetryPolicy& policy,
+                                unsigned* attempts_out, std::string* error) {
+  // Jitter seeded off the clock and pid: reconnect storms should decorrelate
+  // across processes, determinism is worthless here.
+  std::mt19937 rng(static_cast<std::uint32_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      (static_cast<std::uint64_t>(::getpid()) << 16)));
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
+  unsigned attempts = 0;
+  for (;;) {
+    if (connect(host, port, error)) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return true;
+    }
+    if (attempts >= static_cast<unsigned>(std::max(policy.retries, 0))) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return false;
+    }
+    const int shift = attempts < 16 ? static_cast<int>(attempts) : 16;
+    const double capped = std::min<double>(
+        static_cast<double>(std::max(policy.base_ms, 1)) * (1 << shift),
+        static_cast<double>(std::max(policy.max_ms, 1)));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(capped * jitter(rng)));
+    ++attempts;
+  }
+}
+
+void Client::set_response_timeout_ms(int ms) {
+  response_timeout_ms_ = ms;
+  if (connected() && ms > 0) set_recv_timeout(fd_, ms);
 }
 
 void Client::close() {
@@ -56,7 +113,11 @@ void Client::close() {
 bool Client::read_response(Response* out, std::string* error) {
   *out = Response{};
   std::string line;
-  if (reader_->read_line(&line, kMaxHeaderLine) != LineReader::Status::kOk)
+  const LineReader::Status hs = reader_->read_line(&line, kMaxHeaderLine);
+  if (hs == LineReader::Status::kTimeout)
+    return fail(error, "response timed out after " +
+                           std::to_string(response_timeout_ms_) + " ms");
+  if (hs != LineReader::Status::kOk)
     return fail(error, "connection closed before a response arrived");
   std::istringstream head(line);
   std::string status;
@@ -71,9 +132,14 @@ bool Client::read_response(Response* out, std::string* error) {
     else if (token.rfind("misses=", 0) == 0)
       out->misses = std::strtoull(token.c_str() + 7, nullptr, 10);
   }
-  if (nbytes != 0 &&
-      reader_->read_exact(&out->body, nbytes) != LineReader::Status::kOk)
-    return fail(error, "connection closed mid-response");
+  if (nbytes != 0) {
+    const LineReader::Status bs = reader_->read_exact(&out->body, nbytes);
+    if (bs == LineReader::Status::kTimeout)
+      return fail(error, "response timed out after " +
+                             std::to_string(response_timeout_ms_) + " ms");
+    if (bs != LineReader::Status::kOk)
+      return fail(error, "connection closed mid-response");
+  }
   return true;
 }
 
@@ -100,7 +166,11 @@ bool Client::ping(std::string* error) {
   if (!connected()) return fail(error, "not connected");
   if (!send_all(fd_, "PING\n")) return fail(error, "send failed");
   std::string line;
-  if (reader_->read_line(&line, kMaxHeaderLine) != LineReader::Status::kOk)
+  const LineReader::Status s = reader_->read_line(&line, kMaxHeaderLine);
+  if (s == LineReader::Status::kTimeout)
+    return fail(error, "response timed out after " +
+                           std::to_string(response_timeout_ms_) + " ms");
+  if (s != LineReader::Status::kOk)
     return fail(error, "connection closed before PONG");
   if (line != "PONG") return fail(error, "unexpected reply '" + line + "'");
   return true;

@@ -23,6 +23,21 @@ struct Response {
   std::uint64_t misses = 0;  // cache misses of this request (FLOW only)
 };
 
+/// True when an ERR response's minpower.serve.v1 body carries
+/// `"retryable": true` — a load condition (busy admission queue, graceful
+/// drain), not a caller mistake. Retry against a fresh connection after a
+/// backoff; never retry non-retryable errors (they will fail identically).
+bool response_retryable(const Response& r);
+
+/// Capped jittered exponential backoff for connection attempts:
+/// `base_ms << attempt`, capped at `max_ms`, scaled by a uniform factor in
+/// [0.5, 1.5) so a fleet of clients does not reconnect in lockstep.
+struct RetryPolicy {
+  int retries = 0;       // re-attempts after the first failure
+  int base_ms = 100;     // first backoff
+  int max_ms = 2'000;    // backoff cap (pre-jitter)
+};
+
 class Client {
  public:
   Client();  // out-of-line: LineReader is incomplete here
@@ -37,6 +52,20 @@ class Client {
   /// client reconnects only via close() + connect().
   bool connect(const std::string& host, std::uint16_t port,
                std::string* error);
+
+  /// connect() with RetryPolicy backoff on refused/failed attempts. When
+  /// `attempts_out` is non-null it receives the number of *re*-attempts
+  /// taken (0 = first try succeeded).
+  bool connect_with_retry(const std::string& host, std::uint16_t port,
+                          const RetryPolicy& policy, unsigned* attempts_out,
+                          std::string* error);
+
+  /// Bound every response read to `ms` milliseconds (0 = wait forever, the
+  /// historical behavior). A stalled server then fails the request with a
+  /// "timed out" transport error instead of blocking the client for good.
+  /// Applies to the current connection and any later connect().
+  void set_response_timeout_ms(int ms);
+
   void close();
   bool connected() const { return fd_ >= 0; }
 
@@ -56,6 +85,7 @@ class Client {
   bool read_response(Response* out, std::string* error);
 
   int fd_ = -1;
+  int response_timeout_ms_ = 0;
   std::unique_ptr<LineReader> reader_;  // persists buffering across responses
 };
 

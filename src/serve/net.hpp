@@ -8,6 +8,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,6 +27,18 @@ inline void close_fd(int fd) {
 inline void set_nodelay(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Bound every recv() on `fd` to `ms` milliseconds (0 = blocking forever).
+/// A timed-out recv surfaces as LineReader::Status::kTimeout with all
+/// buffered bytes preserved, so the read can simply be retried — the server
+/// uses short ticks to notice drain/idle conditions, the client uses it as
+/// a per-response timeout.
+inline void set_recv_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 /// Write the whole buffer; false on any socket error (peer gone).
@@ -47,10 +60,12 @@ class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
 
-  enum class Status { kOk, kEof, kError, kOverflow };
+  enum class Status { kOk, kEof, kError, kOverflow, kTimeout };
 
   /// One '\n'-terminated line (terminator stripped). kOverflow once the
   /// line exceeds `max_len` — the connection's framing is unrecoverable.
+  /// kTimeout (recv timeout armed via set_recv_timeout) preserves any
+  /// partial line; calling again resumes where the read left off.
   Status read_line(std::string* out, std::size_t max_len) {
     out->clear();
     for (;;) {
@@ -65,11 +80,13 @@ class LineReader {
       scanned_ = buf_.size();
       if (buf_.size() > max_len) return Status::kOverflow;
       const Status s = fill();
+      if (s == Status::kTimeout) return s;
       if (s != Status::kOk) return buf_.empty() ? s : Status::kEof;
     }
   }
 
-  /// Exactly n bytes (a request/response body).
+  /// Exactly n bytes (a request/response body). kTimeout keeps the partial
+  /// body buffered; retrying continues the read.
   Status read_exact(std::string* out, std::size_t n) {
     while (buf_.size() < n) {
       const Status s = fill();
@@ -92,6 +109,8 @@ class LineReader {
       }
       if (n == 0) return Status::kEof;
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::kTimeout;  // SO_RCVTIMEO expired
       return Status::kError;
     }
   }

@@ -1,5 +1,7 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -17,8 +19,11 @@ namespace {
 constexpr std::size_t kMaxHeaderLine = 4096;
 
 /// `ERR <nbytes>\n` + minpower.serve.v1 error body. `line` carries the BLIF
-/// parser's line number (0 elsewhere).
-std::string render_error(const std::string& message, int line) {
+/// parser's line number (0 elsewhere). `retryable` marks load conditions
+/// (busy queue, drain, idle reap) the client may retry after a backoff, as
+/// opposed to caller mistakes that would fail identically again.
+std::string render_error(const std::string& message, int line,
+                         bool retryable) {
   std::ostringstream body;
   {
     JsonWriter w(body);
@@ -29,6 +34,7 @@ std::string render_error(const std::string& message, int line) {
     w.begin_object();
     w.field("message", message);
     w.field("line", line);
+    w.field("retryable", retryable);
     w.end_object();
     w.end_object();
   }
@@ -36,8 +42,9 @@ std::string render_error(const std::string& message, int line) {
   return body.str();
 }
 
-bool send_error(int fd, const std::string& message, int line = 0) {
-  const std::string body = render_error(message, line);
+bool send_error(int fd, const std::string& message, int line = 0,
+                bool retryable = false) {
+  const std::string body = render_error(message, line, retryable);
   // One send per response: a header segment alone would sit in the Nagle
   // buffer waiting for the client's delayed ACK.
   return send_all(fd, "ERR " + std::to_string(body.size()) + "\n" + body);
@@ -145,12 +152,44 @@ bool Server::start(std::string* error) {
     return fail(std::strerror(errno));
   port_ = ntohs(bound.sin_port);
 
+  if (::pipe(drain_pipe_) != 0) return fail(std::strerror(errno));
+
   const unsigned workers = options_.workers != 0 ? options_.workers : 1;
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
+  drain_thread_ = std::thread([this] { drain_watch_loop(); });
   return true;
+}
+
+void Server::signal_drain() {
+  // Async-signal-safe: one write to the self-pipe; the watcher thread does
+  // everything that needs locks.
+  if (drain_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::drain_watch_loop() {
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(drain_pipe_[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // write end closed: server is stopping anyway
+    draining_.store(true, std::memory_order_release);
+    // Deliberately keep the listener open: connections already past the TCP
+    // handshake but still in the backlog must be accepted and answered with
+    // the structured retryable refusal, not dropped with a raw EOF. The
+    // accept loop refuses everything while draining_; stop() (reached once
+    // wait() releases below) is what actually tears the listener down.
+    {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      shutdown_requested_ = true;
+    }
+    wait_cv_.notify_all();
+  }
 }
 
 void Server::stop() {
@@ -160,9 +199,19 @@ void Server::stop() {
     if (stopping_ && listen_fd_ < 0 && workers_.empty()) return;
     stopping_ = true;
   }
+  draining_.store(true, std::memory_order_release);
   // Unblock accept(): shutdown() first, then close.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   queue_cv_.notify_all();
+  // Wake the drain watcher (EOF on the self-pipe) and join it before the
+  // workers so no drain transition races the teardown.
+  if (drain_pipe_[1] >= 0) {
+    close_fd(drain_pipe_[1]);
+    drain_pipe_[1] = -1;
+  }
+  if (drain_thread_.joinable()) drain_thread_.join();
+  close_fd(drain_pipe_[0]);
+  drain_pipe_[0] = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& t : workers_)
     if (t.joinable()) t.join();
@@ -176,7 +225,7 @@ void Server::stop() {
     orphans.swap(pending_);
   }
   for (const int fd : orphans) {
-    send_error(fd, "server shutting down");
+    send_error(fd, "server shutting down", 0, /*retryable=*/true);
     close_fd(fd);
   }
   {
@@ -200,6 +249,8 @@ ServeStats Server::stats() const {
   s.flow_ok = flow_ok_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  s.drain_rejections = drain_rejections_.load(std::memory_order_relaxed);
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   s.inflight_peak = inflight_peak_.load(std::memory_order_relaxed);
   return s;
@@ -220,6 +271,13 @@ void Server::accept_loop() {
       return;  // listener gone
     }
     set_nodelay(fd);
+    if (draining_.load(std::memory_order_acquire)) {
+      // Accept raced the drain transition: structured retryable refusal.
+      drain_rejections_.fetch_add(1, std::memory_order_relaxed);
+      send_error(fd, "server draining; retry later", 0, /*retryable=*/true);
+      close_fd(fd);
+      continue;
+    }
     bool admitted = false;
     std::size_t depth = 0;
     {
@@ -233,7 +291,8 @@ void Server::accept_loop() {
     if (!admitted) {
       busy_rejections_.fetch_add(1, std::memory_order_relaxed);
       metrics::counter("serve.busy_rejections").add(1);
-      send_error(fd, "server busy: pending queue full");
+      send_error(fd, "server busy: pending queue full", 0,
+                 /*retryable=*/true);
       close_fd(fd);
       continue;
     }
@@ -271,6 +330,14 @@ void Server::worker_loop() {
 
 void Server::serve_connection(int fd) {
   LineReader reader(fd);
+  // Short recv ticks: a blocked read wakes every tick so the connection can
+  // notice a drain and the idle reaper can fire. The tick is a fraction of
+  // the idle timeout so short test timeouts stay accurate.
+  const int idle_ms = options_.idle_timeout_ms;
+  int tick_ms = 250;
+  if (idle_ms > 0) tick_ms = std::clamp(idle_ms / 4, 10, 250);
+  set_recv_timeout(fd, tick_ms);
+  auto last_activity = std::chrono::steady_clock::now();
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -278,6 +345,27 @@ void Server::serve_connection(int fd) {
     }
     std::string line;
     const LineReader::Status s = reader.read_line(&line, kMaxHeaderLine);
+    if (s == LineReader::Status::kTimeout) {
+      if (draining_.load(std::memory_order_acquire)) {
+        // A request sent from here on would go unanswered; tell the idle
+        // client to come back once the server is, instead of going silent.
+        drain_rejections_.fetch_add(1, std::memory_order_relaxed);
+        send_error(fd, "server draining; retry later", 0, /*retryable=*/true);
+        break;
+      }
+      if (idle_ms > 0 && std::chrono::steady_clock::now() - last_activity >
+                             std::chrono::milliseconds(idle_ms)) {
+        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+        metrics::counter("serve.idle_reaped").add(1);
+        send_error(fd,
+                   "idle connection reaped after " + std::to_string(idle_ms) +
+                       " ms",
+                   0, /*retryable=*/true);
+        break;
+      }
+      continue;
+    }
+    last_activity = std::chrono::steady_clock::now();
     if (s == LineReader::Status::kOverflow) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       metrics::counter("serve.errors").add(1);
@@ -320,6 +408,8 @@ void Server::serve_connection(int fd) {
         w.field("flow_ok", st.flow_ok);
         w.field("errors", st.errors);
         w.field("busy_rejections", st.busy_rejections);
+        w.field("idle_reaped", st.idle_reaped);
+        w.field("drain_rejections", st.drain_rejections);
         w.field("queue_depth_peak", st.queue_depth_peak);
         w.field("inflight_peak", st.inflight_peak);
         w.end_object();
@@ -384,7 +474,22 @@ bool Server::handle_flow(int fd, LineReader& reader, const std::string& line) {
     if (!apply_option(toks[i], &flow, &option_error)) break;
 
   std::string blif;
-  if (reader.read_exact(&blif, nbytes) != LineReader::Status::kOk) {
+  const auto body_start = std::chrono::steady_clock::now();
+  for (;;) {
+    const LineReader::Status bs = reader.read_exact(&blif, nbytes);
+    if (bs == LineReader::Status::kOk) break;
+    if (bs == LineReader::Status::kTimeout) {
+      // Recv tick expired mid-body: keep waiting, but not forever — a
+      // half-sent request must not pin this worker past the idle budget,
+      // and a drain must not wait on a stalled sender.
+      const bool overdue =
+          options_.idle_timeout_ms > 0 &&
+          std::chrono::steady_clock::now() - body_start >
+              std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (!overdue && !draining_.load(std::memory_order_acquire)) continue;
+      err("truncated FLOW payload (body timed out)");
+      return false;
+    }
     // Truncated body: the client died mid-request.
     err("truncated FLOW payload");
     return false;

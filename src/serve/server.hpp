@@ -28,7 +28,15 @@
 // Errors (malformed header, oversized payload, bad option token, BLIF parse
 // failure, failed flow) answer `ERR <nbytes>\n` + a minpower.serve.v1 error
 // document and — whenever the request framing is still intact — keep the
-// connection open for the next request.
+// connection open for the next request. Load-condition errors (busy
+// admission queue, graceful drain, idle reap) carry `"retryable": true` so
+// clients know to back off and retry rather than give up.
+//
+// Lifecycle hardening: signal_drain() (async-signal-safe, wired to
+// SIGTERM/SIGINT by the CLI) begins a graceful drain — stop accepting,
+// finish in-flight requests, answer new ones with a retryable error, then
+// release wait(). Connections idle past ServerOptions::idle_timeout_ms are
+// reaped so leaked clients cannot pin worker slots.
 
 #include <atomic>
 #include <condition_variable>
@@ -56,6 +64,10 @@ struct ServerOptions {
   std::size_t max_pending = 64;
   /// FLOW payload cap; larger requests are rejected without reading.
   std::size_t max_request_bytes = 8u << 20;
+  /// Reap connections idle longer than this (a leaked client otherwise pins
+  /// a worker slot forever). 0 disables the reaper. The reaped connection
+  /// is sent a structured, retryable error before closing.
+  int idle_timeout_ms = 60'000;
   /// Per-request defaults; FLOW key=value tokens override per request.
   FlowOptions flow;
   SessionOptions session = {/*enable_cache=*/true};
@@ -69,6 +81,8 @@ struct ServeStats {
   std::uint64_t flow_ok = 0;          // FLOW answered OK
   std::uint64_t errors = 0;           // ERR responses
   std::uint64_t busy_rejections = 0;  // connections refused at admission
+  std::uint64_t idle_reaped = 0;      // connections closed by the reaper
+  std::uint64_t drain_rejections = 0; // requests refused during drain
   std::uint64_t queue_depth_peak = 0;
   std::uint64_t inflight_peak = 0;
 };
@@ -96,12 +110,24 @@ class Server {
   /// server, then tear it down. Returns when all threads are joined.
   void wait();
 
+  /// Begin a graceful drain: stop accepting, answer new requests on live
+  /// connections with a structured retryable error, let in-flight requests
+  /// finish, then release wait(). Async-signal-safe (one write to a
+  /// self-pipe) — this is the SIGTERM/SIGINT handler's entry point.
+  void signal_drain();
+
+  /// True once a drain (signal_drain or stop) has begun.
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   FlowSession& session() { return session_; }
   ServeStats stats() const;
 
  private:
   void accept_loop();
   void worker_loop();
+  void drain_watch_loop();
   void serve_connection(int fd);
   bool handle_flow(int fd, LineReader& reader, const std::string& line);
 
@@ -111,8 +137,10 @@ class Server {
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  int drain_pipe_[2] = {-1, -1};  // self-pipe: signal handler → watcher
   std::mutex stop_mu_;  // serializes stop() (wait() vs destructor)
   std::thread accept_thread_;
+  std::thread drain_thread_;
   std::vector<std::thread> workers_;
 
   std::mutex queue_mu_;
@@ -128,6 +156,9 @@ class Server {
   std::atomic<std::uint64_t> flow_ok_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> idle_reaped_{0};
+  std::atomic<std::uint64_t> drain_rejections_{0};
+  std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> queue_depth_peak_{0};
   std::atomic<std::uint64_t> inflight_{0};
   std::atomic<std::uint64_t> inflight_peak_{0};

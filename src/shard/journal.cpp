@@ -1,0 +1,152 @@
+#include "shard/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "flow/session.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+
+namespace minpower::shard {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+const JsonValue* member(const JsonValue& obj, const char* key,
+                        JsonValue::Kind kind) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->kind == kind) ? v : nullptr;
+}
+
+}  // namespace
+
+std::string suite_fingerprint(const std::vector<const Network*>& circuits,
+                              const FlowOptions& flow) {
+  StreamHash h;
+  h.u64(circuits.size());
+  for (const Network* net : circuits) {
+    const Hash128 s = structural_hash(*net);
+    const Hash128 o = option_fingerprint(flow, *net);
+    h.u64(s.a ^ o.a);
+    h.u64(s.b ^ o.b);
+  }
+  const Hash128 d = h.digest();
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(d.a),
+                static_cast<unsigned long long>(d.b));
+  return buf;
+}
+
+bool load_journal(const std::string& path, Journal* out, std::string* error) {
+  *out = Journal{};
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open journal " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const bool torn_tail = in.eof();  // no trailing '\n': write was cut short
+    if (line.empty()) continue;
+    std::string parse_error;
+    std::optional<JsonValue> v = parse_json(line, &parse_error);
+    if (!v) {
+      if (torn_tail) break;  // torn trailing line: drop it
+      return fail(error, path + ":" + std::to_string(lineno) + ": " +
+                             parse_error);
+    }
+    if (!saw_header) {
+      const JsonValue* schema = member(*v, "schema", JsonValue::Kind::kString);
+      if (schema == nullptr || schema->string != "minpower.shard.v1")
+        return fail(error, path + ": not a minpower.shard.v1 journal");
+      const JsonValue* lib = member(*v, "library", JsonValue::Kind::kString);
+      const JsonValue* hash =
+          member(*v, "suite_hash", JsonValue::Kind::kString);
+      const JsonValue* circuits =
+          member(*v, "circuits", JsonValue::Kind::kArray);
+      if (lib == nullptr || hash == nullptr || circuits == nullptr)
+        return fail(error, path + ": malformed journal header");
+      out->library = lib->string;
+      out->suite_hash = hash->string;
+      for (const JsonValue& c : circuits->items) {
+        if (c.kind != JsonValue::Kind::kString)
+          return fail(error, path + ": non-string circuit name in header");
+        out->circuits.push_back(c.string);
+      }
+      saw_header = true;
+      continue;
+    }
+    const JsonValue* ci = member(*v, "ci", JsonValue::Kind::kNumber);
+    const JsonValue* mi = member(*v, "mi", JsonValue::Kind::kNumber);
+    const JsonValue* cell = member(*v, "cell", JsonValue::Kind::kObject);
+    if (ci == nullptr || mi == nullptr || cell == nullptr)
+      return fail(error,
+                  path + ":" + std::to_string(lineno) + ": malformed cell");
+    JournalCell jc;
+    jc.ci = static_cast<std::size_t>(ci->number);
+    jc.mi = static_cast<std::size_t>(mi->number);
+    if (jc.ci >= out->circuits.size() || jc.mi >= 6)
+      return fail(error, path + ":" + std::to_string(lineno) +
+                             ": cell index out of range");
+    std::string cell_error;
+    if (!parse_flow_result_json(*cell, &jc.result, &cell_error))
+      return fail(error,
+                  path + ":" + std::to_string(lineno) + ": " + cell_error);
+    jc.result.circuit = out->circuits[jc.ci];
+    out->cells.push_back(std::move(jc));
+  }
+  if (!saw_header) return fail(error, path + ": empty journal (no header)");
+  return true;
+}
+
+bool JournalWriter::create(const std::string& path, const std::string& library,
+                           const std::string& suite_hash,
+                           const std::vector<std::string>& circuits,
+                           std::string* error) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) return fail(error, "cannot create journal " + path);
+  std::ostringstream line;
+  {
+    JsonWriter w(line, /*pretty=*/false);
+    w.begin_object();
+    w.field("schema", "minpower.shard.v1");
+    w.field("library", library);
+    w.field("suite_hash", suite_hash);
+    w.key("circuits");
+    w.begin_array();
+    for (const std::string& c : circuits) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  out_ << line.str() << '\n' << std::flush;
+  return out_.good() || fail(error, "cannot write journal header to " + path);
+}
+
+bool JournalWriter::open_append(const std::string& path, std::string* error) {
+  out_.open(path, std::ios::out | std::ios::app);
+  if (!out_) return fail(error, "cannot append to journal " + path);
+  return true;
+}
+
+void JournalWriter::append_cell(std::size_t ci, std::size_t mi,
+                                const FlowResult& r) {
+  if (!out_.is_open()) return;
+  std::ostringstream line;
+  {
+    JsonWriter w(line, /*pretty=*/false);
+    w.begin_object();
+    w.field("ci", ci);
+    w.field("mi", mi);
+    w.key("cell");
+    write_flow_result_json(w, r);
+    w.end_object();
+  }
+  out_ << line.str() << '\n' << std::flush;
+}
+
+}  // namespace minpower::shard

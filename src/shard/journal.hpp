@@ -1,0 +1,80 @@
+#pragma once
+// Append-only journal of completed flow cells for crash-isolated sharded
+// runs (shard/supervisor.hpp, DESIGN.md §14).
+//
+// Format: JSON Lines, one compact (single-line) JSON document per record.
+// The first line is a header binding the journal to a specific suite:
+//
+//   {"schema":"minpower.shard.v1","library":"<name>",
+//    "suite_hash":"<32 hex>","circuits":["<name>",...]}
+//
+// Every later line is one completed (circuit × method) cell:
+//
+//   {"ci":<circuit index>,"mi":<method index>,"cell":{<methods[] object>}}
+//
+// The cell payload is rendered by write_flow_result_json and parsed back by
+// parse_flow_result_json — the exact same serialization the merged
+// minpower.flow.v1 report uses — so a journaled cell re-renders
+// byte-identically in a resumed report (%.17g doubles round-trip exactly
+// through strtod).
+//
+// Only ok/degraded cells are journaled: a failed cell is crash- or
+// budget-specific and is recomputed on resume. The supervisor is the single
+// writer and flushes after every line; a torn trailing line (supervisor
+// died mid-write) is tolerated by the loader and simply dropped.
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace minpower::shard {
+
+struct JournalCell {
+  std::size_t ci = 0;  // global circuit index (suite order)
+  std::size_t mi = 0;  // method index (Method order, 0..5)
+  FlowResult result;
+};
+
+struct Journal {
+  std::string library;
+  std::string suite_hash;  // hex suite fingerprint (see suite_fingerprint)
+  std::vector<std::string> circuits;  // suite circuit names, in order
+  std::vector<JournalCell> cells;
+};
+
+/// Hex fingerprint binding a journal to the exact suite that produced it:
+/// per-circuit structural hash ⊕ option fingerprint, folded in order.
+std::string suite_fingerprint(const std::vector<const Network*>& circuits,
+                              const FlowOptions& flow);
+
+/// Load a journal, tolerating a truncated final line. False (with `error`)
+/// on unreadable file, bad header, or a *well-formed* line that fails to
+/// parse (a corrupt middle line is data loss, not a torn tail).
+bool load_journal(const std::string& path, Journal* out, std::string* error);
+
+/// Single-writer append handle. Lines are flushed as written so a crash of
+/// the supervisor itself loses at most the line in flight.
+class JournalWriter {
+ public:
+  /// Truncate/create `path` and write the header. False on I/O failure.
+  bool create(const std::string& path, const std::string& library,
+              const std::string& suite_hash,
+              const std::vector<std::string>& circuits, std::string* error);
+
+  /// Open `path` for append without writing a header (resume onto an
+  /// existing journal whose header was already validated).
+  bool open_append(const std::string& path, std::string* error);
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// Append one completed cell (compact, one line, flushed).
+  void append_cell(std::size_t ci, std::size_t mi, const FlowResult& r);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace minpower::shard

@@ -1,0 +1,115 @@
+#pragma once
+// Crash-isolated multi-process sharded flow runs (DESIGN.md §14).
+//
+// `run_sharded_suite` forks N worker processes, each owning a partition of
+// the suite's circuits (round-robin over the circuits still pending, so
+// every worker gets a similar mix). A worker runs its circuits one at a
+// time through a private FlowSession and streams results back over a pipe,
+// one '\n'-framed line per message:
+//
+//   START <ci>                — beginning circuit ci (global suite index)
+//   CELL <ci> <mi> <json>     — one completed (circuit × method) cell; the
+//                               payload is the compact methods[] object of
+//                               minpower.flow.v1 (write_flow_result_json)
+//   BEAT                      — heartbeat (liveness, no payload)
+//   DONE                      — partition complete; the worker exits 0
+//
+// The supervisor multiplexes the pipes with poll() and treats a worker as
+// dead on nonzero exit, a fatal signal (including SIGKILL), or a missed
+// heartbeat deadline (the worker is then SIGKILLed). A dead worker is
+// restarted with exponential backoff and a tightened budget — the BDD node
+// cap halves per restart (floored), so a genuine blowup lands in the
+// engine's PR-3 degradation ladder (halved-cap retry → MC activities)
+// instead of crashing forever. Only the dead worker's unfinished circuits
+// are re-enqueued; the crash is attributed to the circuit the worker had
+// STARTed, and after `max_circuit_retries` crashes on the same circuit its
+// remaining cells are marked `failed` in the merged report and excluded
+// from further attempts. The run therefore always completes: exit-0/2
+// semantics are decided by the caller from the merged task states.
+//
+// Journaling & resume: every completed ok/degraded cell is appended to a
+// JSONL journal (shard/journal.hpp) as it arrives. A later run with
+// `resume_path` set validates the journal's suite fingerprint, seeds the
+// merged report with the journaled cells, and schedules only circuits with
+// missing cells — producing a merged document byte-identical to an
+// uninterrupted run (cells are deterministic; rendering is canonical).
+//
+// Fault injection: `worker-abort`, `worker-oom` and `worker-hang` sites
+// (util/budget.hpp) fire in the worker that owns the circuit whose global
+// index matches the injection ordinal, after START is sent — deterministic
+// crash-recovery testing. Each fires at most once per run: restarted
+// workers are told which circuits already crashed and skip their faults.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flow/session.hpp"
+
+namespace minpower::shard {
+
+struct ShardOptions {
+  /// Worker process count (clamped to [1, circuit count]).
+  unsigned shards = 2;
+  /// Threads inside each worker's flow engine.
+  unsigned worker_threads = 1;
+  /// Worker heartbeat period. Any pipe traffic counts as liveness.
+  int heartbeat_ms = 250;
+  /// Silence longer than this SIGKILLs the worker; 0 disables the reaper
+  /// (death is then detected by pipe EOF only).
+  int heartbeat_timeout_ms = 10'000;
+  /// Crashes tolerated per circuit before its cells are marked failed.
+  int max_circuit_retries = 2;
+  /// Restart backoff: backoff_ms << restarts, capped at max_backoff_ms.
+  int backoff_ms = 100;
+  int max_backoff_ms = 2'000;
+  /// Append completed cells here ("" = no journal).
+  std::string journal_path;
+  /// Resume from this journal ("" = fresh run). When journal_path is also
+  /// set the resumed cells are re-journaled there, so the new journal is
+  /// complete on its own.
+  std::string resume_path;
+  /// Armed faults (env + CLI merged). worker-* sites are consumed here;
+  /// everything else is forwarded to the workers' engines.
+  std::vector<FaultInjection> injections;
+  /// One stderr line per supervisor event (spawn/crash/restart/kill).
+  bool verbose = false;
+};
+
+struct ShardStats {
+  unsigned workers_spawned = 0;    // initial forks + restarts
+  unsigned worker_crashes = 0;     // nonzero exit / signal / protocol break
+  unsigned worker_restarts = 0;    // crashes that led to a restart
+  unsigned heartbeat_kills = 0;    // SIGKILLs for missed heartbeats
+  std::size_t cells_resumed = 0;   // seeded from the journal
+  std::size_t cells_computed = 0;  // received from workers this run
+  std::size_t cells_failed = 0;    // marked failed after retry exhaustion
+};
+
+struct ShardRun {
+  /// [circuit][method] in suite/Method order — same shape as
+  /// FlowSession::run_suite, always fully populated.
+  std::vector<std::vector<FlowResult>> per_circuit;
+  ShardStats stats;
+};
+
+/// Run the suite across worker processes. False (with `error`) only on
+/// supervisor-level failures (journal mismatch, fork/pipe failure) — worker
+/// crashes never fail the run, they degrade it (failed cells in `out`).
+bool run_sharded_suite(const std::vector<const Network*>& circuits,
+                       const Library& lib, const FlowOptions& flow,
+                       const ShardOptions& options, ShardRun* out,
+                       std::string* error);
+
+/// Canonical merged-report rendering: zeroed wall times, no metrics block,
+/// engine counters fixed at the cold per-circuit values (3/3/6) — so a
+/// resumed run, an uninterrupted sharded run, and a serve response for the
+/// same cells are all byte-identical. Shard statistics deliberately stay
+/// out of the document (they vary run to run); callers print them to
+/// stderr.
+void write_sharded_flow_json(std::ostream& os, const ShardRun& run,
+                             unsigned shards, const std::string& library_name);
+
+}  // namespace minpower::shard

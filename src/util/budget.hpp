@@ -19,7 +19,15 @@
 //   * "bdd-limit" — BddManagers built by the armed task get a tiny node
 //     cap, forcing the genuine node-limit machinery to fire;
 //   * "deadline" — the armed task's deadline is created already expired,
-//     so its first checkpoint fails through the real deadline path.
+//     so its first checkpoint fails through the real deadline path;
+//   * process-level sites consumed by the shard supervisor (shard/
+//     supervisor.hpp), where the ordinal is a *global circuit index* and
+//     the fault fires in the worker process that owns that circuit:
+//     "worker-abort" calls std::abort() (SIGABRT), "worker-oom" raises
+//     SIGKILL (the un-catchable OOM-killer shape), "worker-hang" stops
+//     heartbeating and sleeps until the supervisor's heartbeat timeout
+//     kills the worker. These sites never match an in-process checkpoint
+//     name, so they are inert outside sharded runs.
 
 #include <chrono>
 #include <cstdlib>

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <cstdlib>
 #include <optional>
 #include <sstream>
@@ -224,6 +228,127 @@ TEST(Serve, TruncatedPayloadAndMidResponseDisconnectKeepServerUp) {
   serve::Response r;
   ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
   EXPECT_TRUE(r.ok);
+}
+
+TEST(Serve, IdleConnectionsAreReaped) {
+  serve::ServerOptions so;
+  so.idle_timeout_ms = 150;
+  ServeFixture fx(so);
+
+  const int fd = serve::tcp_connect("127.0.0.1", fx.server.port(), nullptr);
+  ASSERT_GE(fd, 0);
+  // Send nothing: the reaper must answer a structured retryable error
+  // within a few idle ticks instead of pinning the worker forever.
+  serve::LineReader reader(fd);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, 4096), serve::LineReader::Status::kOk);
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+  std::string body;
+  reader.read_exact(&body, std::strtoull(line.c_str() + 4, nullptr, 10));
+  EXPECT_NE(body.find("idle connection reaped"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"retryable\": true"), std::string::npos) << body;
+  serve::close_fd(fd);
+  EXPECT_GE(fx.server.stats().idle_reaped, 1u);
+
+  // Reaping a leaked client must not take down the server.
+  serve::Client c = fx.connect();
+  std::string error;
+  EXPECT_TRUE(c.ping(&error)) << error;
+}
+
+TEST(Serve, SignalDrainAnswersIdleConnectionsAndReleasesWait) {
+  auto* fx = new ServeFixture();
+  const int fd = serve::tcp_connect("127.0.0.1", fx->server.port(), nullptr);
+  ASSERT_GE(fd, 0);
+
+  fx->server.signal_drain();  // what the CLI's SIGTERM handler calls
+
+  // The idle connection is told to come back later (retryable), not left
+  // hanging on a dead server.
+  serve::LineReader reader(fd);
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, 4096), serve::LineReader::Status::kOk);
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+  std::string body;
+  reader.read_exact(&body, std::strtoull(line.c_str() + 4, nullptr, 10));
+  EXPECT_NE(body.find("draining"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"retryable\": true"), std::string::npos) << body;
+  serve::close_fd(fd);
+
+  fx->server.wait();  // drain releases wait() without a SHUTDOWN request
+  EXPECT_TRUE(fx->server.draining());
+  EXPECT_GE(fx->server.stats().drain_rejections, 1u);
+  delete fx;
+}
+
+TEST(Serve, BusyRejectionIsRetryable) {
+  serve::ServerOptions so;
+  so.workers = 1;
+  so.max_pending = 0;  // admission control refuses every connection
+  ServeFixture fx(so);
+
+  serve::Client c = fx.connect();  // TCP connect succeeds…
+  std::string error;
+  serve::Response r;
+  ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+  EXPECT_FALSE(r.ok);  // …but the request is answered with the busy error
+  EXPECT_NE(r.body.find("server busy"), std::string::npos) << r.body;
+  EXPECT_TRUE(serve::response_retryable(r)) << r.body;
+  EXPECT_GE(fx.server.stats().busy_rejections, 1u);
+}
+
+TEST(Serve, ClientConnectRetryBacksOffThenFails) {
+  serve::RetryPolicy policy;
+  policy.retries = 2;
+  policy.base_ms = 10;
+
+  // Find a dead port by binding one and closing it again.
+  ServeFixture* fx = new ServeFixture();
+  const std::uint16_t dead_port = fx->server.port();
+  delete fx;
+
+  serve::Client c;
+  std::string error;
+  unsigned attempts = 0;
+  EXPECT_FALSE(
+      c.connect_with_retry("127.0.0.1", dead_port, policy, &attempts, &error));
+  EXPECT_EQ(attempts, 2u);
+  EXPECT_NE(error.find("refused"), std::string::npos) << error;
+
+  // Against a live server the first try lands: zero re-attempts.
+  ServeFixture live;
+  attempts = 99;
+  EXPECT_TRUE(c.connect_with_retry("127.0.0.1", live.server.port(), policy,
+                                   &attempts, &error))
+      << error;
+  EXPECT_EQ(attempts, 0u);
+  std::string ping_error;
+  EXPECT_TRUE(c.ping(&ping_error)) << ping_error;
+}
+
+TEST(Serve, ResponseTimeoutUnsticksClient) {
+  // A listener that accepts (via the kernel backlog) but never answers.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  serve::Client c;
+  c.set_response_timeout_ms(200);
+  std::string error;
+  ASSERT_TRUE(c.connect("127.0.0.1", ntohs(addr.sin_port), &error)) << error;
+  EXPECT_FALSE(c.ping(&error));  // would block forever without the timeout
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  serve::close_fd(listener);
 }
 
 TEST(Serve, ShutdownRequestEndsWait) {

@@ -12,9 +12,18 @@
 //   minpower flow   <in.blif>... [--genlib lib.genlib] [--threads N]
 //                   [--json out.json] [--deadline-ms T] [--bdd-limit N]
 //                   [--trace out.trace.json] [--verbose]
+//                   [--shards N] [--journal F] [--resume F]
+//                   [--shard-retries N] [--backoff-ms T]
+//                   [--heartbeat-ms T] [--heartbeat-timeout-ms T]
 //                                                  run Methods I–VI per circuit,
 //                                                  print table (+ JSON, + Chrome
-//                                                  trace for chrome://tracing)
+//                                                  trace for chrome://tracing).
+//                                                  --shards forks crash-isolated
+//                                                  worker processes (DESIGN.md
+//                                                  §14); --journal logs each
+//                                                  completed cell, --resume
+//                                                  skips cells already in a
+//                                                  journal
 //   minpower verify [--seed N] [--count N] [--json out.json]
 //                                                  differential verification
 //                                                  harness (seeded oracles)
@@ -33,18 +42,28 @@
 //                                                  reports
 //                                                  (minpower.compare.v1)
 //   minpower serve  [--port N] [--host H] [--workers N] [--deadline-ms T]
-//                   [--bdd-limit N] [--genlib lib.genlib] [--verbose]
+//                   [--bdd-limit N] [--idle-timeout-ms T]
+//                   [--genlib lib.genlib] [--verbose]
 //                                                  persistent synthesis
 //                                                  service with cross-request
 //                                                  caching (port 0 =
 //                                                  ephemeral; the bound port
-//                                                  is printed on stdout)
+//                                                  is printed on stdout).
+//                                                  SIGTERM/SIGINT drain
+//                                                  gracefully: in-flight
+//                                                  requests finish, stats are
+//                                                  flushed to stderr
 //   minpower client --port N [--host H] <in.blif>... [--json out.json]
 //                   [--deadline-ms T] [--bdd-limit N] [--stats] [--shutdown]
+//                   [--retries N] [--retry-ms T] [--timeout-ms T]
 //                                                  submit circuits to a
 //                                                  running server; responses
 //                                                  are merged into one
-//                                                  minpower.flow.v1 document
+//                                                  minpower.flow.v1 document.
+//                                                  --retries adds capped
+//                                                  jittered backoff on refused
+//                                                  connections and retryable
+//                                                  (busy/draining) errors
 //
 // Every subcommand reads plain BLIF; `map -o` writes the SIS .gate dialect.
 //
@@ -54,6 +73,7 @@
 // input, internal error).
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -62,6 +82,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
@@ -79,7 +100,9 @@
 #include "report/baseline.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "shard/supervisor.hpp"
 #include "sop/factor.hpp"
+#include "util/budget.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
 #include "util/json_reader.hpp"
@@ -123,6 +146,17 @@ struct Args {
   unsigned workers = 4;       // serve: request worker threads
   bool client_stats = false;     // client: print server stats after requests
   bool client_shutdown = false;  // client: ask the server to exit at the end
+  unsigned shards = 0;           // flow: >0 forks worker processes
+  std::optional<std::string> journal;  // flow: write shard journal here
+  std::optional<std::string> resume;   // flow: skip cells already journaled
+  int shard_retries = 2;         // flow: worker restarts per circuit
+  int backoff_ms = 100;          // flow: restart backoff base
+  int heartbeat_ms = 250;        // flow: worker heartbeat period
+  int heartbeat_timeout_ms = 10'000;  // flow: silence before SIGKILL
+  int idle_timeout_ms = 60'000;  // serve: idle-connection reaper (0 = off)
+  int client_retries = 0;        // client: retry budget per connect/request
+  int retry_ms = 100;            // client: retry backoff base
+  int timeout_ms = 0;            // client: per-response timeout (0 = none)
 };
 
 /// Fatal usage / input problems throw; main() turns them into exit code 1.
@@ -170,6 +204,25 @@ Args parse_args(int argc, char** argv, int first) {
       a.workers = static_cast<unsigned>(std::stoul(value("--workers")));
     else if (arg == "--stats") a.client_stats = true;
     else if (arg == "--shutdown") a.client_shutdown = true;
+    else if (arg == "--shards")
+      a.shards = static_cast<unsigned>(std::stoul(value("--shards")));
+    else if (arg == "--journal") a.journal = value("--journal");
+    else if (arg == "--resume") a.resume = value("--resume");
+    else if (arg == "--shard-retries")
+      a.shard_retries = std::stoi(value("--shard-retries"));
+    else if (arg == "--backoff-ms")
+      a.backoff_ms = std::stoi(value("--backoff-ms"));
+    else if (arg == "--heartbeat-ms")
+      a.heartbeat_ms = std::stoi(value("--heartbeat-ms"));
+    else if (arg == "--heartbeat-timeout-ms")
+      a.heartbeat_timeout_ms = std::stoi(value("--heartbeat-timeout-ms"));
+    else if (arg == "--idle-timeout-ms")
+      a.idle_timeout_ms = std::stoi(value("--idle-timeout-ms"));
+    else if (arg == "--retries")
+      a.client_retries = std::stoi(value("--retries"));
+    else if (arg == "--retry-ms") a.retry_ms = std::stoi(value("--retry-ms"));
+    else if (arg == "--timeout-ms")
+      a.timeout_ms = std::stoi(value("--timeout-ms"));
     else if (arg == "--bounded") a.bounded = true;
     else if (arg == "--power") a.power_opt = true;
     else if (arg == "--sim") a.simulate = true;
@@ -334,6 +387,92 @@ int cmd_map(const Args& a) {
   return 0;
 }
 
+struct TaskTally {
+  int ok = 0;
+  int degraded = 0;
+  int failed = 0;
+};
+
+/// Print the per-cell result table (stdout) and non-ok task diagnostics
+/// (stderr); shared by the in-process and sharded flow paths.
+TaskTally print_flow_table(
+    const std::vector<std::vector<FlowResult>>& per_circuit) {
+  std::printf("%-10s %-8s %8s %8s %10s %7s %-9s\n", "circuit", "method",
+              "area", "delay", "power", "gates", "status");
+  TaskTally t;
+  for (const std::vector<FlowResult>& rs : per_circuit)
+    for (const FlowResult& r : rs) {
+      std::printf("%-10s %-8s %8.0f %8.2f %10.1f %7zu %-9s\n",
+                  r.circuit.c_str(), method_name(r.method), r.area, r.delay,
+                  r.power_uw, r.gates, task_state_name(r.status.state));
+      switch (r.status.state) {
+        case TaskState::kOk: ++t.ok; break;
+        case TaskState::kDegraded: ++t.degraded; break;
+        case TaskState::kFailed: ++t.failed; break;
+      }
+      if (r.status.state != TaskState::kOk)
+        std::fprintf(stderr, "task %s/%s: %s (%s%s; retries=%d)\n",
+                     r.circuit.c_str(), method_name(r.method),
+                     task_state_name(r.status.state), r.status.reason.c_str(),
+                     r.status.fallbacks.empty()
+                         ? ""
+                         : ("; fallback " + r.status.fallbacks.back()).c_str(),
+                     r.status.retries);
+    }
+  return t;
+}
+
+/// `flow --shards N` / `--resume F`: the crash-isolated multi-process path
+/// (DESIGN.md §14). Process-fault injection sites come from the environment
+/// so the supervisor — not the in-process engine — arms them.
+int cmd_flow_sharded(const Args& a,
+                     const std::vector<const Network*>& circuits,
+                     const Library& lib) {
+  if (a.trace)
+    std::fprintf(stderr,
+                 "flow: --trace is ignored with --shards (workers are "
+                 "separate processes)\n");
+  shard::ShardOptions so;
+  so.shards = a.shards > 0 ? a.shards : 2;
+  so.worker_threads = a.threads;
+  so.heartbeat_ms = a.heartbeat_ms;
+  so.heartbeat_timeout_ms = a.heartbeat_timeout_ms;
+  so.max_circuit_retries = a.shard_retries;
+  so.backoff_ms = a.backoff_ms;
+  if (a.journal) so.journal_path = *a.journal;
+  if (a.resume) {
+    so.resume_path = *a.resume;
+    // Resuming without an explicit --journal keeps extending the same file.
+    if (!a.journal) so.journal_path = *a.resume;
+  }
+  so.injections = fault_injections_from_env();
+  so.verbose = a.verbose;
+
+  FlowOptions flow;
+  flow.task_deadline_ms = a.deadline_ms;
+  if (a.bdd_limit != 0) flow.bdd_node_limit = a.bdd_limit;
+
+  shard::ShardRun run;
+  std::string error;
+  if (!shard::run_sharded_suite(circuits, lib, flow, so, &run, &error)) fatal(error);
+
+  const TaskTally t = print_flow_table(run.per_circuit);
+  std::fprintf(stderr,
+               "shards: %u spawned, %u crashes, %u restarts, %u heartbeat "
+               "kills; cells: %zu resumed, %zu computed, %zu failed; "
+               "tasks: %d ok, %d degraded, %d failed\n",
+               run.stats.workers_spawned, run.stats.worker_crashes,
+               run.stats.worker_restarts, run.stats.heartbeat_kills,
+               run.stats.cells_resumed, run.stats.cells_computed,
+               run.stats.cells_failed, t.ok, t.degraded, t.failed);
+  if (a.json) {
+    std::ofstream out(*a.json);
+    if (!out.good()) fatal("cannot open JSON output file " + *a.json);
+    shard::write_sharded_flow_json(out, run, so.shards, lib.name());
+  }
+  return t.degraded + t.failed > 0 ? 2 : 0;
+}
+
 int cmd_flow(const Args& a) {
   if (a.positional.empty()) fatal("flow needs at least one BLIF file");
   std::vector<Network> nets;
@@ -345,6 +484,8 @@ int cmd_flow(const Args& a) {
   std::vector<const Network*> circuits;
   for (const Network& n : nets) circuits.push_back(&n);
   const Library lib = load_library(a);
+
+  if (a.shards > 0 || a.resume) return cmd_flow_sharded(a, circuits, lib);
 
   EngineOptions eo;
   eo.num_threads = a.threads;
@@ -377,43 +518,21 @@ int cmd_flow(const Args& a) {
                  trace::num_events(), a.trace->c_str());
   }
 
-  std::printf("%-10s %-8s %8s %8s %10s %7s %-9s\n", "circuit", "method",
-              "area", "delay", "power", "gates", "status");
-  int ok = 0;
-  int degraded = 0;
-  int failed = 0;
-  for (const std::vector<FlowResult>& rs : per_circuit)
-    for (const FlowResult& r : rs) {
-      std::printf("%-10s %-8s %8.0f %8.2f %10.1f %7zu %-9s\n",
-                  r.circuit.c_str(), method_name(r.method), r.area, r.delay,
-                  r.power_uw, r.gates, task_state_name(r.status.state));
-      switch (r.status.state) {
-        case TaskState::kOk: ++ok; break;
-        case TaskState::kDegraded: ++degraded; break;
-        case TaskState::kFailed: ++failed; break;
-      }
-      if (r.status.state != TaskState::kOk)
-        std::fprintf(stderr, "task %s/%s: %s (%s%s; retries=%d)\n",
-                     r.circuit.c_str(), method_name(r.method),
-                     task_state_name(r.status.state), r.status.reason.c_str(),
-                     r.status.fallbacks.empty()
-                         ? ""
-                         : ("; fallback " + r.status.fallbacks.back()).c_str(),
-                     r.status.retries);
-    }
+  const TaskTally t = print_flow_table(per_circuit);
   std::fprintf(stderr,
                "engine: %d decompositions, %d activity passes, %d mappings, "
                "%u thread(s), %.1f ms; tasks: %d ok, %d degraded, %d failed\n",
                engine.counters().decomp_passes,
                engine.counters().activity_passes, engine.counters().map_passes,
-               engine.effective_threads(), elapsed_ms, ok, degraded, failed);
+               engine.effective_threads(), elapsed_ms, t.ok, t.degraded,
+               t.failed);
   if (a.json) {
     std::ofstream out(*a.json);
     if (!out.good()) fatal("cannot open JSON output file " + *a.json);
     write_flow_json(out, per_circuit, engine.counters(),
                     engine.effective_threads(), elapsed_ms, lib.name());
   }
-  return degraded + failed > 0 ? 2 : 0;
+  return t.degraded + t.failed > 0 ? 2 : 0;
 }
 
 int cmd_verify(const Args& a) {
@@ -519,6 +638,15 @@ int cmd_compare(const Args& a) {
   return r.regression() ? 3 : 0;
 }
 
+// SIGTERM/SIGINT → graceful drain. std::signal handlers may only touch
+// lock-free state; Server::signal_drain is async-signal-safe (one write to a
+// self-pipe), so the handler just forwards to the live server.
+serve::Server* g_drain_server = nullptr;
+
+void handle_drain_signal(int) {
+  if (g_drain_server != nullptr) g_drain_server->signal_drain();
+}
+
 int cmd_serve(const Args& a) {
   const Library lib = load_library(a);
   serve::ServerOptions o;
@@ -527,15 +655,22 @@ int cmd_serve(const Args& a) {
   o.workers = a.workers;
   o.flow.task_deadline_ms = a.deadline_ms;
   if (a.bdd_limit != 0) o.flow.bdd_node_limit = a.bdd_limit;
+  o.idle_timeout_ms = a.idle_timeout_ms;
   o.verbose = a.verbose;
   serve::Server server(lib, o);
   std::string error;
   if (!server.start(&error)) fatal(error);
+  g_drain_server = &server;
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
   // Scripts parse this line for the (possibly ephemeral) port.
   std::printf("minpower serve: listening on %s:%u (%u workers)\n",
               o.host.c_str(), server.port(), o.workers);
   std::fflush(stdout);
   server.wait();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_drain_server = nullptr;
   const serve::ServeStats s = server.stats();
   const SessionStats ss = server.session().stats();
   std::fprintf(stderr,
@@ -578,10 +713,27 @@ void emit_json_value(JsonWriter& w, const JsonValue& v) {
 
 int cmd_client(const Args& a) {
   if (a.port <= 0) fatal("client needs --port (a running `minpower serve`)");
+  serve::RetryPolicy policy;
+  policy.retries = a.client_retries;
+  if (a.retry_ms > 0) policy.base_ms = a.retry_ms;
+
   serve::Client client;
+  client.set_response_timeout_ms(a.timeout_ms);
   std::string error;
-  if (!client.connect(a.host, static_cast<std::uint16_t>(a.port), &error))
-    fatal(error);
+  int total_retries = 0;
+  // Reconnect from scratch (used on first connect and whenever a request
+  // fails retryably): a refused/broken/busy connection is cheapest to
+  // abandon, and connect_with_retry supplies the capped jittered backoff.
+  auto reconnect = [&](std::string* err) {
+    client = serve::Client();
+    client.set_response_timeout_ms(a.timeout_ms);
+    unsigned attempts = 0;
+    const bool ok = client.connect_with_retry(
+        a.host, static_cast<std::uint16_t>(a.port), policy, &attempts, err);
+    total_retries += static_cast<int>(attempts);
+    return ok;
+  };
+  if (!reconnect(&error)) fatal(error);
 
   std::vector<std::string> tokens;
   if (a.deadline_ms > 0.0)
@@ -590,14 +742,32 @@ int cmd_client(const Args& a) {
     tokens.push_back("bdd_limit=" + std::to_string(a.bdd_limit));
 
   // One FLOW request per file; each OK body is a single-circuit
-  // minpower.flow.v1 document.
+  // minpower.flow.v1 document. Transport failures and retryable server
+  // errors (busy admission queue, graceful drain, idle reap) re-connect and
+  // re-send up to --retries times with capped jittered backoff.
   std::vector<JsonValue> docs;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   for (const std::string& path : a.positional) {
+    const std::string blif = slurp(path, "BLIF file");
     serve::Response r;
-    if (!client.flow(slurp(path, "BLIF file"), tokens, &r, &error))
-      fatal(error);
+    for (int attempt = 0;; ++attempt) {
+      std::string req_error;
+      if (client.flow(blif, tokens, &r, &req_error)) {
+        if (r.ok || !serve::response_retryable(r)) break;
+        req_error = "server answered a retryable error";
+      }
+      if (attempt >= policy.retries)
+        fatal(path + ": " + req_error + " (after " + std::to_string(attempt) +
+              " retries)");
+      ++total_retries;
+      const int shift = attempt < 16 ? attempt : 16;
+      const long long backoff =
+          std::min<long long>(static_cast<long long>(policy.base_ms) << shift,
+                              policy.max_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      if (!reconnect(&req_error)) fatal(path + ": " + req_error);
+    }
     hits += r.hits;
     misses += r.misses;
     std::string parse_error;
@@ -663,6 +833,10 @@ int cmd_client(const Args& a) {
       w.field("degraded", degraded);
       w.field("failed", failed);
       w.end_object();
+      w.key("client");
+      w.begin_object();
+      w.field("retries", total_retries);
+      w.end_object();
       w.key("circuits");
       w.begin_array();
       for (const JsonValue& d : docs)
@@ -690,10 +864,11 @@ int cmd_client(const Args& a) {
   if (a.client_shutdown && !client.shutdown_server(&error)) fatal(error);
   std::fprintf(stderr,
                "client: %zu circuits via %s:%d; cache hits=%llu misses=%llu; "
-               "tasks: %d ok, %d degraded, %d failed\n",
+               "retries=%d; tasks: %d ok, %d degraded, %d failed\n",
                docs.size(), a.host.c_str(), a.port,
                static_cast<unsigned long long>(hits),
-               static_cast<unsigned long long>(misses), ok, degraded, failed);
+               static_cast<unsigned long long>(misses), total_retries, ok,
+               degraded, failed);
   return degraded + failed > 0 ? 2 : 0;
 }
 
