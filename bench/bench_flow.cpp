@@ -5,7 +5,7 @@
 // BENCH_flow.json (schema minpower.flow.v1; see DESIGN.md), plus a
 // human-readable summary table.
 //
-//   bench_flow [out.json] [max_circuits] [num_threads] [shards]
+//   bench_flow [--append] [out.json] [max_circuits] [num_threads] [shards]
 //
 // Defaults: BENCH_flow.json, the full suite, hardware concurrency,
 // in-process. max_circuits must be ≥ 1 (a prefix of the 17-circuit suite);
@@ -13,6 +13,11 @@
 // shards > 0 runs the crash-isolated multi-process supervisor instead of
 // the in-process engine (DESIGN.md §14); the report is then rendered
 // canonically (no metrics block, zeroed wall times).
+// --append switches the output from the full report to one appended JSONL
+// trajectory point (schema minpower.bench_trajectory.v1: suite size,
+// threads, shards, wall ms, peak BDD nodes, degradations/failures), so
+// repeated runs at different scales accumulate into a tracked scaling
+// trajectory instead of overwriting each other.
 // Set MINPOWER_TRACE=<file> to also record a Chrome trace of the run
 // (chrome://tracing / ui.perfetto.dev); the JSON report always carries the
 // metrics-registry snapshot in its `metrics` block (in-process runs only).
@@ -27,7 +32,10 @@
 #include "bench_util.hpp"
 #include "flow/flow_engine.hpp"
 #include "shard/supervisor.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "trace/wire.hpp"
+#include "util/json_writer.hpp"
 #include "util/stats.hpp"
 
 using namespace minpower;
@@ -35,7 +43,11 @@ using namespace minpower;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: bench_flow [out.json] [max_circuits] [num_threads] [shards]\n"
+    "usage: bench_flow [--append] [out.json] [max_circuits] [num_threads] "
+    "[shards]\n"
+    "  --append      append one JSONL trajectory point (schema\n"
+    "                minpower.bench_trajectory.v1) to out.json instead of\n"
+    "                writing the full minpower.flow.v1 report\n"
     "  out.json      report path (minpower.flow.v1; default BENCH_flow.json)\n"
     "  max_circuits  suite prefix to run, >= 1 (default: all 17)\n"
     "  num_threads   worker threads, 0 = hardware concurrency (default 0)\n"
@@ -63,42 +75,97 @@ bool parse_u64(const char* arg, std::uint64_t* out) {
   std::exit(1);
 }
 
+/// Count degraded/failed cells of a [circuit][method] result grid.
+void count_states(const std::vector<std::vector<FlowResult>>& results,
+                  std::uint64_t* degraded, std::uint64_t* failed) {
+  for (const std::vector<FlowResult>& rs : results)
+    for (const FlowResult& r : rs) {
+      if (r.status.state == TaskState::kDegraded) ++*degraded;
+      else if (r.status.state == TaskState::kFailed) ++*failed;
+    }
+}
+
+/// Append one minpower.bench_trajectory.v1 JSONL point. Returns 0/1 as a
+/// process exit code.
+int append_trajectory(const std::string& path, std::size_t suite,
+                      unsigned threads, unsigned shards, double wall_ms,
+                      std::uint64_t peak_bdd_nodes, std::uint64_t degraded,
+                      std::uint64_t failed) {
+  std::ofstream out(path, std::ios::app);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  {
+    JsonWriter w(out, /*pretty=*/false);
+    w.begin_object();
+    w.field("schema", "minpower.bench_trajectory.v1");
+    w.field("suite", static_cast<unsigned long long>(suite));
+    w.field("threads", threads);
+    w.field("shards", shards);
+    w.field("wall_ms", wall_ms);
+    w.field("peak_bdd_nodes",
+            static_cast<unsigned long long>(peak_bdd_nodes));
+    w.field("degradations", static_cast<unsigned long long>(degraded));
+    w.field("failures", static_cast<unsigned long long>(failed));
+    w.end_object();
+  }
+  out << '\n';
+  std::printf("appended trajectory point -> %s\n", path.c_str());
+  return 0;
+}
+
+/// Largest bdd.unique_table_peak gauge in a snapshot (0 when absent).
+std::uint64_t peak_nodes_of(const metrics::Snapshot& s) {
+  for (const auto& [name, value] : s.gauges)
+    if (name == "bdd.unique_table_peak") return value;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
+  bool append = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::fputs(kUsage, stdout);
       return 0;
     }
-  if (argc > 5) usage_error("too many arguments");
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_flow.json";
+    if (std::strcmp(argv[i], "--append") == 0) {
+      append = true;
+      continue;
+    }
+    pos.push_back(argv[i]);
+  }
+  if (pos.size() > 4) usage_error("too many arguments");
+  const std::string out_path = !pos.empty() ? pos[0] : "BENCH_flow.json";
   std::size_t max_circuits = SIZE_MAX;
-  if (argc > 2) {
+  if (pos.size() > 1) {
     std::uint64_t v = 0;
-    if (!parse_u64(argv[2], &v))
+    if (!parse_u64(pos[1], &v))
       usage_error(std::string("max_circuits must be a non-negative integer, "
                               "got '") +
-                  argv[2] + "'");
+                  pos[1] + "'");
     if (v == 0) usage_error("max_circuits must be >= 1");
     max_circuits = static_cast<std::size_t>(v);
   }
   unsigned threads = 0;
-  if (argc > 3) {
+  if (pos.size() > 2) {
     std::uint64_t v = 0;
-    if (!parse_u64(argv[3], &v) || v > 1u << 16)
+    if (!parse_u64(pos[2], &v) || v > 1u << 16)
       usage_error(std::string("num_threads must be an integer in [0, 65536], "
                               "got '") +
-                  argv[3] + "'");
+                  pos[2] + "'");
     threads = static_cast<unsigned>(v);
   }
   unsigned shards = 0;
-  if (argc > 4) {
+  if (pos.size() > 3) {
     std::uint64_t v = 0;
-    if (!parse_u64(argv[4], &v) || v > 1u << 10)
+    if (!parse_u64(pos[3], &v) || v > 1u << 10)
       usage_error(std::string("shards must be an integer in [0, 1024], "
                               "got '") +
-                  argv[4] + "'");
+                  pos[3] + "'");
     shards = static_cast<unsigned>(v);
   }
 
@@ -128,6 +195,19 @@ int main(int argc, char** argv) {
                 run.stats.workers_spawned, run.stats.worker_crashes,
                 run.stats.worker_restarts, run.stats.cells_computed,
                 run.stats.cells_failed, circuits.size(), sharded_ms);
+    if (append) {
+      // Peak BDD nodes from the merged worker registries plus the
+      // supervisor's own (prepare work runs pre-fork).
+      std::vector<metrics::Snapshot> parts = run.worker_metrics;
+      parts.push_back(metrics::Registry::global().snapshot());
+      std::uint64_t degraded = 0;
+      std::uint64_t failed = 0;
+      count_states(run.per_circuit, &degraded, &failed);
+      return append_trajectory(out_path, circuits.size(), so.worker_threads,
+                               shards, sharded_ms,
+                               peak_nodes_of(trace::merge_snapshots(parts)),
+                               degraded, failed);
+    }
     std::ofstream out(out_path);
     if (!out.good()) {
       std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -186,6 +266,16 @@ int main(int argc, char** argv) {
               circuits.size(), engine.effective_threads());
   std::printf("map phase: mean %.2f ms, max %.2f ms; total wall %.1f ms\n",
               map_ms.mean(), map_ms.max(), elapsed_ms);
+
+  if (append) {
+    std::uint64_t degraded = 0;
+    std::uint64_t failed = 0;
+    count_states(results, &degraded, &failed);
+    return append_trajectory(
+        out_path, circuits.size(), engine.effective_threads(), /*shards=*/0,
+        elapsed_ms, peak_nodes_of(metrics::Registry::global().snapshot()),
+        degraded, failed);
+  }
 
   std::ofstream out(out_path);
   if (!out.good()) {

@@ -41,6 +41,19 @@ inline void set_recv_timeout(int fd, int ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+/// "ip:port" of the connected peer ("?" when getpeername fails, e.g. the
+/// peer already vanished) — access-log and diagnostics labeling only.
+inline std::string peer_name(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return "?";
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip)) == nullptr)
+    return "?";
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
 /// Write the whole buffer; false on any socket error (peer gone).
 inline bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {

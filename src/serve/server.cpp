@@ -10,7 +10,10 @@
 #include "io/blif.hpp"
 #include "serve/net.hpp"
 #include "trace/metrics.hpp"
+#include "trace/prometheus.hpp"
+#include "trace/trace.hpp"
 #include "util/json_writer.hpp"
+#include "util/log.hpp"
 
 namespace minpower::serve {
 
@@ -131,6 +134,11 @@ bool Server::start(std::string* error) {
     listen_fd_ = -1;
     return false;
   };
+  if (!options_.access_log.empty()) {
+    std::string log_error;
+    if (!access_log_.open(options_.access_log, &log_error))
+      return fail(log_error);
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return fail(std::strerror(errno));
   const int one = 1;
@@ -330,6 +338,7 @@ void Server::worker_loop() {
 
 void Server::serve_connection(int fd) {
   LineReader reader(fd);
+  const std::string peer = peer_name(fd);
   // Short recv ticks: a blocked read wakes every tick so the connection can
   // notice a drain and the idle reaper can fire. The tick is a fraction of
   // the idle timeout so short test timeouts stay accurate.
@@ -373,70 +382,104 @@ void Server::serve_connection(int fd) {
       break;
     }
     if (s != LineReader::Status::kOk) break;  // EOF / peer gone
-    requests_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t rid =
+        requests_.fetch_add(1, std::memory_order_relaxed) + 1;
     metrics::counter("serve.requests").add(1);
-    if (options_.verbose)
-      std::fprintf(stderr, "[serve] %s\n",
-                   line.substr(0, line.find(' ')).c_str());
-
-    if (line == "PING") {
-      if (!send_all(fd, "PONG\n")) break;
-      continue;
-    }
-    if (line == "QUIT") break;
-    if (line == "SHUTDOWN") {
-      send_all(fd, "OK 0\n");
-      {
-        std::lock_guard<std::mutex> lock(wait_mu_);
-        shutdown_requested_ = true;
-      }
-      wait_cv_.notify_all();
-      break;
-    }
-    if (line == "STATS") {
-      const ServeStats st = stats();
-      const SessionStats ss = session_.stats();
-      std::ostringstream body;
-      {
-        JsonWriter w(body);
-        w.begin_object();
-        w.field("schema", "minpower.serve.v1");
-        w.field("status", "ok");
-        w.key("serve");
-        w.begin_object();
-        w.field("requests", st.requests);
-        w.field("flow_ok", st.flow_ok);
-        w.field("errors", st.errors);
-        w.field("busy_rejections", st.busy_rejections);
-        w.field("idle_reaped", st.idle_reaped);
-        w.field("drain_rejections", st.drain_rejections);
-        w.field("queue_depth_peak", st.queue_depth_peak);
-        w.field("inflight_peak", st.inflight_peak);
-        w.end_object();
-        w.key("session");
-        w.begin_object();
-        w.field("group_hits", ss.group_hits);
-        w.field("group_misses", ss.group_misses);
-        w.field("result_hits", ss.result_hits);
-        w.field("result_misses", ss.result_misses);
-        w.field("evictions", ss.evictions);
-        w.end_object();
-        w.end_object();
-      }
-      body << '\n';
-      const std::string text = body.str();
-      if (!send_all(fd, "OK " + std::to_string(text.size()) + "\n" + text))
-        break;
-      continue;
-    }
-    if (line.rfind("FLOW ", 0) == 0 || line == "FLOW") {
-      if (!handle_flow(fd, reader, line)) break;
-      continue;
-    }
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    metrics::counter("serve.errors").add(1);
     const std::string verb = line.substr(0, line.find(' '));
-    if (!send_error(fd, "unknown request '" + verb + "'")) break;
+    logging::logf(options_.verbose ? logging::Level::kInfo
+                                   : logging::Level::kDebug,
+                  "serve", "#%llu %s from %s",
+                  static_cast<unsigned long long>(rid), verb.c_str(),
+                  peer.c_str());
+
+    AccessLog::Entry acc;
+    acc.id = rid;
+    acc.peer = peer;
+    acc.verb = verb;
+    const auto req_start = std::chrono::steady_clock::now();
+    bool keep = true;
+    {
+      trace::Span req_span("request", "serve");
+      req_span.arg("request_id", static_cast<long long>(rid));
+      req_span.arg("verb", verb);
+
+      if (line == "PING") {
+        acc.outcome = "pong";
+        acc.bytes_out = 5;
+        keep = send_all(fd, "PONG\n");
+      } else if (line == "QUIT") {
+        acc.outcome = "quit";
+        keep = false;
+      } else if (line == "SHUTDOWN") {
+        send_all(fd, "OK 0\n");
+        acc.outcome = "shutdown";
+        acc.bytes_out = 5;
+        {
+          std::lock_guard<std::mutex> lock(wait_mu_);
+          shutdown_requested_ = true;
+        }
+        wait_cv_.notify_all();
+        keep = false;
+      } else if (line == "STATS") {
+        const ServeStats st = stats();
+        const SessionStats ss = session_.stats();
+        std::ostringstream body;
+        {
+          JsonWriter w(body);
+          w.begin_object();
+          w.field("schema", "minpower.serve.v1");
+          w.field("status", "ok");
+          w.key("serve");
+          w.begin_object();
+          w.field("requests", st.requests);
+          w.field("flow_ok", st.flow_ok);
+          w.field("errors", st.errors);
+          w.field("busy_rejections", st.busy_rejections);
+          w.field("idle_reaped", st.idle_reaped);
+          w.field("drain_rejections", st.drain_rejections);
+          w.field("queue_depth_peak", st.queue_depth_peak);
+          w.field("inflight_peak", st.inflight_peak);
+          w.end_object();
+          w.key("session");
+          w.begin_object();
+          w.field("group_hits", ss.group_hits);
+          w.field("group_misses", ss.group_misses);
+          w.field("result_hits", ss.result_hits);
+          w.field("result_misses", ss.result_misses);
+          w.field("evictions", ss.evictions);
+          w.end_object();
+          w.end_object();
+        }
+        body << '\n';
+        const std::string text = body.str();
+        acc.outcome = "ok";
+        acc.bytes_out = text.size();
+        keep = send_all(fd, "OK " + std::to_string(text.size()) + "\n" + text);
+      } else if (line == "METRICS") {
+        // Live Prometheus scrape of the process registry. Deliberately a
+        // separate verb: STATS stays the stable JSON document, METRICS the
+        // exposition-format view of every serve.*/bdd.*/flow.* series.
+        std::ostringstream body;
+        trace::write_prometheus(body, metrics::Registry::global().snapshot());
+        const std::string text = body.str();
+        acc.outcome = "ok";
+        acc.bytes_out = text.size();
+        keep = send_all(fd, "OK " + std::to_string(text.size()) + "\n" + text);
+      } else if (line.rfind("FLOW ", 0) == 0 || line == "FLOW") {
+        keep = handle_flow(fd, reader, line, &acc);
+      } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics::counter("serve.errors").add(1);
+        acc.outcome = "error";
+        keep = send_error(fd, "unknown request '" + verb + "'");
+      }
+    }
+    acc.wall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - req_start)
+            .count());
+    access_log_.write(acc);
+    if (!keep) break;
   }
   close_fd(fd);
 }
@@ -444,10 +487,12 @@ void Server::serve_connection(int fd) {
 /// One FLOW request. Returns false when the connection must close (framing
 /// lost or peer gone); a well-framed bad request answers ERR and returns
 /// true so the connection can carry the next request.
-bool Server::handle_flow(int fd, LineReader& reader, const std::string& line) {
+bool Server::handle_flow(int fd, LineReader& reader, const std::string& line,
+                         AccessLog::Entry* acc) {
   auto err = [&](const std::string& message, int blif_line = 0) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     metrics::counter("serve.errors").add(1);
+    acc->outcome = "error";
     return send_error(fd, message, blif_line);
   };
   const std::vector<std::string> toks = split_tokens(line);
@@ -473,6 +518,7 @@ bool Server::handle_flow(int fd, LineReader& reader, const std::string& line) {
   for (std::size_t i = 2; i < toks.size(); ++i)
     if (!apply_option(toks[i], &flow, &option_error)) break;
 
+  acc->bytes_in = nbytes;
   std::string blif;
   const auto body_start = std::chrono::steady_clock::now();
   for (;;) {
@@ -497,14 +543,26 @@ bool Server::handle_flow(int fd, LineReader& reader, const std::string& line) {
   if (!option_error.empty()) return err(option_error);
 
   BlifError blif_error;
-  std::optional<Network> net = try_read_blif_string(blif, &blif_error);
+  std::optional<Network> net;
+  {
+    trace::Span span("parse", "serve");
+    span.arg("bytes", static_cast<long long>(nbytes));
+    net = try_read_blif_string(blif, &blif_error);
+  }
   if (!net) return err(blif_error.message, blif_error.line);
 
   try {
-    prepare_network(*net);
     SessionStats delta;
-    const std::vector<FlowResult> results =
-        session_.run_circuit(*net, flow, &delta);
+    std::vector<FlowResult> results;
+    {
+      trace::Span span("session", "serve");
+      span.arg("circuit", net->name());
+      prepare_network(*net);
+      results = session_.run_circuit(*net, flow, &delta);
+      span.arg("cache_hits", static_cast<long long>(delta.hits()));
+      span.arg("cache_misses", static_cast<long long>(delta.group_misses +
+                                                      delta.result_misses));
+    }
 
     // Canonical one-shot rendering: the counters a cold single-circuit
     // FlowEngine run reports, thread count 1, zeroed wall times, no metrics
@@ -518,18 +576,26 @@ bool Server::handle_flow(int fd, LineReader& reader, const std::string& line) {
     policy.include_metrics = false;
     policy.zero_wall_times = true;
     std::ostringstream body;
-    write_flow_json(body, {results}, counters, /*num_threads=*/1,
-                    /*elapsed_ms=*/0.0, lib_.name(), policy);
+    {
+      trace::Span span("render", "serve");
+      write_flow_json(body, {results}, counters, /*num_threads=*/1,
+                      /*elapsed_ms=*/0.0, lib_.name(), policy);
+    }
     const std::string text = body.str();
+    acc->bytes_out = text.size();
+    acc->hits = delta.hits();
+    acc->misses = delta.group_misses + delta.result_misses;
     const std::string head =
         "OK " + std::to_string(text.size()) +
         " hits=" + std::to_string(delta.hits()) +
         " misses=" + std::to_string(delta.group_misses + delta.result_misses) +
         "\n";
-    if (!send_all(fd, head + text)) return false;
+    acc->outcome = "ok";
+    // Count before the send: the flow itself succeeded, and a METRICS
+    // scrape racing the response must already see it.
     flow_ok_.fetch_add(1, std::memory_order_relaxed);
     metrics::counter("serve.flow_ok").add(1);
-    return true;
+    return send_all(fd, head + text);
   } catch (const std::exception& e) {
     return err(std::string("internal error: ") + e.what());
   }

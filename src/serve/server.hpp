@@ -15,10 +15,18 @@
 //
 //   PING                          → PONG
 //   STATS                         → OK <nbytes>\n<minpower.serve.v1 stats>
+//   METRICS                       → OK <nbytes>\n<Prometheus exposition>
 //   FLOW <nbytes> [key=value ...] → OK <nbytes> hits=<h> misses=<m>\n<body>
 //   <nbytes of BLIF>                (body: minpower.flow.v1 document)
 //   SHUTDOWN                      → OK 0\n  (server begins shutdown)
 //   QUIT                          → connection closed
+//
+// Observability (DESIGN.md §15): every FLOW request runs under a `request`
+// trace span (cat "serve", request_id arg) with parse/session/render child
+// phases and cache hit/miss args; `--access-log` appends one JSONL object
+// per request line (serve/access_log.hpp); METRICS scrapes the process
+// metrics registry as Prometheus text exposition (trace/prometheus.hpp)
+// without touching the STATS document.
 //
 // Recognized FLOW options: deadline_ms, bdd_limit, step_limit, vdd,
 // t_cycle, po_load, style=static|dynp|dynn. Anything else is a structured
@@ -48,6 +56,7 @@
 #include <vector>
 
 #include "flow/session.hpp"
+#include "serve/access_log.hpp"
 
 namespace minpower::serve {
 
@@ -72,6 +81,10 @@ struct ServerOptions {
   FlowOptions flow;
   SessionOptions session = {/*enable_cache=*/true};
   bool verbose = false;
+  /// JSONL access log path ("" = disabled): one object per request line
+  /// (serve/access_log.hpp) with the monotonic request id, peer, verb,
+  /// byte counts, outcome, wall time, and cache hits/misses.
+  std::string access_log;
 };
 
 /// Monotonic service totals (also mirrored into the metrics registry as
@@ -129,11 +142,13 @@ class Server {
   void worker_loop();
   void drain_watch_loop();
   void serve_connection(int fd);
-  bool handle_flow(int fd, LineReader& reader, const std::string& line);
+  bool handle_flow(int fd, LineReader& reader, const std::string& line,
+                   AccessLog::Entry* acc);
 
   const Library& lib_;
   ServerOptions options_;
   FlowSession session_;
+  AccessLog access_log_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

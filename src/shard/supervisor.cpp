@@ -18,8 +18,12 @@
 #include <thread>
 
 #include "shard/journal.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "trace/wire.hpp"
 #include "util/json_reader.hpp"
 #include "util/json_writer.hpp"
+#include "util/log.hpp"
 
 namespace minpower::shard {
 
@@ -82,6 +86,12 @@ class PipeWriter {
                               const ShardOptions& options,
                               const std::vector<char>& skip_injection) {
   ::signal(SIGPIPE, SIG_IGN);
+  // fork() copied the parent's span buffers and metrics registry; drop the
+  // inherited values so this worker ships only its own work. The tracer
+  // origin survives the clear — that shared CLOCK_MONOTONIC zero is what
+  // keeps worker timestamps on the supervisor's timebase.
+  trace::clear();
+  metrics::Registry::global().reset();
   PipeWriter out(pipe_fd);
   std::atomic<bool> beating{true};
   std::thread heartbeat;
@@ -137,6 +147,21 @@ class PipeWriter {
           ::_exit(1);
       }
     }
+    // Ship the observability snapshots before DONE: run_circuit has joined
+    // all engine tasks, so the buffers/registry are quiescent here.
+    if (trace::enabled()) {
+      std::ostringstream events;
+      trace::write_events_json(events, trace::snapshot_events());
+      if (!out.write_line("TRACE " + events.str() + "\n")) ::_exit(1);
+    }
+    {
+      std::ostringstream snap;
+      {
+        JsonWriter w(snap, /*pretty=*/false);
+        metrics::write_metrics_json(w, metrics::Registry::global().snapshot());
+      }
+      if (!out.write_line("METRICS " + snap.str() + "\n")) ::_exit(1);
+    }
     out.write_line("DONE\n");
   } catch (const std::exception&) {
     // Engine tasks are individually fault-isolated, so an escaping
@@ -180,6 +205,10 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
                        const Library& lib, const FlowOptions& flow,
                        const ShardOptions& options, ShardRun* out,
                        std::string* error) {
+  // Construct the tracer singleton before any fork so every worker inherits
+  // this process's CLOCK_MONOTONIC origin (shared timebase for the merged
+  // trace).
+  trace::ensure_origin();
   const std::size_t n = circuits.size();
   ShardRun run;
   run.per_circuit.assign(n, std::vector<FlowResult>(kMethodsPerCircuit));
@@ -250,11 +279,12 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
 
   std::vector<int> crash_count(n, 0);
 
+  // Supervisor diagnostics: verbose runs speak at info, quiet runs keep the
+  // same lines available at debug (MINPOWER_LOG_LEVEL=debug).
   const auto log = [&](const char* fmt, auto... args) {
-    if (options.verbose) {
-      std::fprintf(stderr, fmt, args...);
-      std::fputc('\n', stderr);
-    }
+    logging::logf(
+        options.verbose ? logging::Level::kInfo : logging::Level::kDebug,
+        "shard", fmt, args...);
   };
 
   const auto spawn = [&](WorkerState& w) -> bool {
@@ -271,6 +301,11 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     const int shift = std::min(w.restarts, 20);
     tightened.bdd_node_limit =
         std::max(flow.bdd_node_limit >> shift, kMinWorkerBddLimit);
+    if (shift > 0 && tightened.bdd_node_limit < flow.bdd_node_limit) {
+      trace::Instant i("budget-tighten", "shard");
+      i.arg("restarts", w.restarts);
+      i.arg("bdd_node_limit", tightened.bdd_node_limit);
+    }
     const pid_t pid = ::fork();
     if (pid < 0) {
       ::close(fds[0]);
@@ -291,7 +326,14 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     w.kill_sent = false;
     w.last_activity = Clock::now();
     ++run.stats.workers_spawned;
-    log("[shard] spawned worker pid %d (%zu circuits, bdd cap %zu)",
+    {
+      trace::Instant i("worker-start", "shard");
+      i.arg("pid", static_cast<long long>(pid));
+      i.arg("circuits", w.queue.size());
+      i.arg("bdd_node_limit", tightened.bdd_node_limit);
+      i.arg("restarts", w.restarts);
+    }
+    log("spawned worker pid %d (%zu circuits, bdd cap %zu)",
         static_cast<int>(pid), w.queue.size(), tightened.bdd_node_limit);
     return true;
   };
@@ -327,7 +369,12 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
       done[ci][mi] = 1;
       ++run.stats.cells_failed;
     }
-    log("[shard] circuit %s abandoned after %d crashes", names[ci].c_str(),
+    {
+      trace::Instant i("retry-exhausted", "shard");
+      i.arg("circuit", names[ci]);
+      i.arg("crashes", crash_count[ci]);
+    }
+    log("circuit %s abandoned after %d crashes", names[ci].c_str(),
         crash_count[ci]);
   };
 
@@ -336,6 +383,28 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
   const auto handle_line = [&](WorkerState& w,
                                const std::string& line) -> bool {
     if (line == "BEAT" || line == "DONE") return true;
+    if (line.rfind("TRACE ", 0) == 0) {
+      std::string parse_error;
+      std::optional<std::vector<trace::ThreadEvents>> threads =
+          trace::parse_events_json(line.substr(6), &parse_error);
+      if (!threads) return false;
+      trace::ProcessLane lane;
+      lane.pid = static_cast<int>(w.pid);
+      lane.name = "worker-" +
+                  std::to_string(static_cast<std::size_t>(&w - workers.data())) +
+                  " (pid " + std::to_string(static_cast<int>(w.pid)) + ")";
+      lane.threads = std::move(*threads);
+      run.worker_lanes.push_back(std::move(lane));
+      return true;
+    }
+    if (line.rfind("METRICS ", 0) == 0) {
+      std::string parse_error;
+      std::optional<metrics::Snapshot> snap =
+          trace::parse_metrics_json(line.substr(8), &parse_error);
+      if (!snap) return false;
+      run.worker_metrics.push_back(std::move(*snap));
+      return true;
+    }
     if (line.rfind("START ", 0) == 0) {
       char* end = nullptr;
       const long ci = std::strtol(line.c_str() + 6, &end, 10);
@@ -379,7 +448,7 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     w.pid = -1;
     const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
     if (w.queue.empty() && clean) {
-      log("[shard] worker finished cleanly");
+      log("worker finished cleanly");
       return true;
     }
     // Crash (or a clean exit that abandoned work, which is the same breach).
@@ -387,7 +456,12 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     const std::size_t victim = w.current >= 0
                                    ? static_cast<std::size_t>(w.current)
                                    : (w.queue.empty() ? n : w.queue.front());
-    log("[shard] worker %s (current circuit: %s)", death.c_str(),
+    {
+      trace::Instant i("worker-crash", "shard");
+      i.arg("death", death);
+      if (victim < n) i.arg("circuit", names[victim]);
+    }
+    log("worker %s (current circuit: %s)", death.c_str(),
         victim < n ? names[victim].c_str() : "none");
     if (victim < n) {
       ++crash_count[victim];
@@ -408,8 +482,13 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     w.restart_pending = true;
     ++w.restarts;
     ++run.stats.worker_restarts;
-    log("[shard] restarting in %lld ms (%zu circuits left)", delay,
-        w.queue.size());
+    {
+      trace::Instant i("worker-restart", "shard");
+      i.arg("backoff_ms", delay);
+      i.arg("circuits_left", w.queue.size());
+      i.arg("restarts", w.restarts);
+    }
+    log("restarting in %lld ms (%zu circuits left)", delay, w.queue.size());
     return true;
   };
 
@@ -422,6 +501,19 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     for (const WorkerState& w : workers)
       if (!w.finished()) return false;
     return true;
+  };
+
+  // The supervise span wraps the whole multiplex loop; its args feed the
+  // profiler's supervisor-blocking breakdown (blocked-in-poll vs draining
+  // pipes / lifecycle handling).
+  trace::Span supervise_span("supervise", "shard");
+  std::uint64_t poll_wait_us = 0;
+  std::uint64_t poll_calls = 0;
+  const auto charge_wait = [&](const Clock::time_point t0) {
+    poll_wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
   };
 
   while (!all_finished()) {
@@ -438,7 +530,16 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
         if (!w.live() || w.kill_sent) continue;
         if (now - w.last_activity >
             std::chrono::milliseconds(options.heartbeat_timeout_ms)) {
-          log("[shard] worker pid %d missed heartbeat deadline; SIGKILL",
+          {
+            trace::Instant i("heartbeat-timeout", "shard");
+            i.arg("pid", static_cast<long long>(w.pid));
+          }
+          {
+            trace::Instant i("sigkill", "shard");
+            i.arg("pid", static_cast<long long>(w.pid));
+            i.arg("reason", "heartbeat-timeout");
+          }
+          log("worker pid %d missed heartbeat deadline; SIGKILL",
               static_cast<int>(w.pid));
           ::kill(w.pid, SIGKILL);
           w.kill_sent = true;
@@ -456,10 +557,15 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     }
     if (fds.empty()) {
       // Only pending restarts remain; sleep toward the nearest one.
+      const Clock::time_point t0 = Clock::now();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      charge_wait(t0);
       continue;
     }
+    const Clock::time_point poll_start = Clock::now();
     const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+    charge_wait(poll_start);
+    ++poll_calls;
     if (rc < 0 && errno != EINTR)
       return fail(error, std::string("poll: ") + std::strerror(errno));
 
@@ -492,14 +598,19 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
         start = nl + 1;
         w.last_activity = now;
         if (!handle_line(w, line)) {
-          log("[shard] protocol breach from pid %d: '%s'",
-              static_cast<int>(w.pid), line.c_str());
+          log("protocol breach from pid %d: '%s'", static_cast<int>(w.pid),
+              line.c_str());
           breach = true;
           break;
         }
       }
       w.buf.erase(0, start);
       if (breach && w.live() && !w.kill_sent) {
+        {
+          trace::Instant i("sigkill", "shard");
+          i.arg("pid", static_cast<long long>(w.pid));
+          i.arg("reason", "protocol-breach");
+        }
         ::kill(w.pid, SIGKILL);
         w.kill_sent = true;
         continue;  // EOF (and the crash path) follows on the next poll
@@ -507,6 +618,8 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
       if (eof && !handle_death(w)) return false;
     }
   }
+  supervise_span.arg("poll_wait_us", static_cast<long long>(poll_wait_us));
+  supervise_span.arg("polls", static_cast<long long>(poll_calls));
 
   // Defensive: every cell must be accounted for (computed, resumed, or
   // failed). A hole here is a supervisor bug; surface it as failed cells
@@ -540,6 +653,56 @@ void write_sharded_flow_json(std::ostream& os, const ShardRun& run,
   policy.zero_wall_times = true;
   write_flow_json(os, run.per_circuit, counters, shards, /*elapsed_ms=*/0.0,
                   library_name, policy);
+}
+
+void write_shard_trace(std::ostream& os, const ShardRun& run) {
+  std::vector<trace::ProcessLane> lanes;
+  trace::ProcessLane sup;
+  sup.pid = static_cast<int>(::getpid());
+  sup.name = "supervisor (pid " + std::to_string(sup.pid) + ")";
+  sup.threads = trace::snapshot_events();
+  lanes.push_back(std::move(sup));
+  lanes.insert(lanes.end(), run.worker_lanes.begin(), run.worker_lanes.end());
+  trace::write_merged_chrome_trace(os, lanes);
+}
+
+void write_shard_metrics_json(std::ostream& os, const ShardRun& run,
+                              unsigned shards) {
+  // The supervisor's own registry joins the fold: circuit preparation
+  // (rugged_lite BDD work) runs in this process before the forks, and
+  // workers reset the inherited copy — without this lane the merged
+  // counters would undercount exactly that prep work relative to a
+  // single-process run.
+  std::vector<metrics::Snapshot> parts = run.worker_metrics;
+  parts.push_back(metrics::Registry::global().snapshot());
+  const metrics::Snapshot merged = trace::merge_snapshots(parts);
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("schema", "minpower.shard_metrics.v1");
+  w.field("shards", static_cast<unsigned long long>(shards));
+  w.field("workers_reporting",
+          static_cast<unsigned long long>(run.worker_metrics.size()));
+  w.key("metrics");
+  metrics::write_metrics_json(w, merged);
+  w.key("shard");
+  w.begin_object();
+  w.field("workers_spawned",
+          static_cast<unsigned long long>(run.stats.workers_spawned));
+  w.field("worker_crashes",
+          static_cast<unsigned long long>(run.stats.worker_crashes));
+  w.field("worker_restarts",
+          static_cast<unsigned long long>(run.stats.worker_restarts));
+  w.field("heartbeat_kills",
+          static_cast<unsigned long long>(run.stats.heartbeat_kills));
+  w.field("cells_resumed",
+          static_cast<unsigned long long>(run.stats.cells_resumed));
+  w.field("cells_computed",
+          static_cast<unsigned long long>(run.stats.cells_computed));
+  w.field("cells_failed",
+          static_cast<unsigned long long>(run.stats.cells_failed));
+  w.end_object();
+  w.end_object();
+  os << '\n';
 }
 
 }  // namespace minpower::shard

@@ -12,7 +12,24 @@
 //                               payload is the compact methods[] object of
 //                               minpower.flow.v1 (write_flow_result_json)
 //   BEAT                      — heartbeat (liveness, no payload)
+//   TRACE <json>              — span snapshot (trace/wire.hpp), sent once
+//                               right before DONE when tracing is enabled
+//   METRICS <json>            — the worker's metrics-registry snapshot
+//                               (write_metrics_json), sent once before DONE
 //   DONE                      — partition complete; the worker exits 0
+//
+// Observability (DESIGN.md §15): workers inherit the supervisor's tracer
+// origin through fork(), so their span timestamps share its timebase; the
+// shipped snapshots become one pid lane per worker incarnation in
+// `ShardRun::worker_lanes`, and `write_shard_trace` merges them with the
+// supervisor's own lane — including `ph:"i"` lifecycle instants
+// (worker-start, heartbeat-timeout, sigkill, worker-restart,
+// budget-tighten, retry-exhausted). Worker registries land in
+// `worker_metrics` and `write_shard_metrics_json` folds them into one
+// merged block (counters sum, gauges max, histograms add): on a clean run
+// the merged counters equal a single-process run's registry for the same
+// suite. Both sidecars stay out of the canonical merged report, so
+// journal/resume byte-determinism is untouched.
 //
 // The supervisor multiplexes the pipes with poll() and treats a worker as
 // dead on nonzero exit, a fatal signal (including SIGKILL), or a missed
@@ -47,6 +64,8 @@
 #include <vector>
 
 #include "flow/session.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace minpower::shard {
 
@@ -93,6 +112,12 @@ struct ShardRun {
   /// FlowSession::run_suite, always fully populated.
   std::vector<std::vector<FlowResult>> per_circuit;
   ShardStats stats;
+  /// One pid lane per worker incarnation that shipped a TRACE record
+  /// (crashed workers lose their unshipped spans; their replacement ships
+  /// under its own pid). Empty when tracing is disabled.
+  std::vector<trace::ProcessLane> worker_lanes;
+  /// One registry snapshot per worker incarnation that shipped METRICS.
+  std::vector<metrics::Snapshot> worker_metrics;
 };
 
 /// Run the suite across worker processes. False (with `error`) only on
@@ -111,5 +136,17 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
 /// stderr.
 void write_sharded_flow_json(std::ostream& os, const ShardRun& run,
                              unsigned shards, const std::string& library_name);
+
+/// Merged Chrome-trace file: the calling (supervisor) process's own lane —
+/// engine spans plus lifecycle instants — followed by every worker lane
+/// shipped over the pipe. Call with tracing enabled after run_sharded_suite.
+void write_shard_trace(std::ostream& os, const ShardRun& run);
+
+/// Metrics sidecar (`minpower.shard_metrics.v1`): the merged worker
+/// registries as a standard metrics block plus a `shard` object with the
+/// supervisor's own lifecycle statistics. Kept out of the canonical merged
+/// report on purpose — it varies run to run under restarts.
+void write_shard_metrics_json(std::ostream& os, const ShardRun& run,
+                              unsigned shards);
 
 }  // namespace minpower::shard

@@ -52,6 +52,28 @@ WaitStats wait_stats(std::vector<std::uint64_t> samples) {
   return w;
 }
 
+void extract_args(const JsonValue& ev,
+                  std::vector<std::pair<std::string, std::string>>* str_args,
+                  std::vector<std::pair<std::string, double>>* num_args) {
+  const JsonValue* args = ev.find("args");
+  if (args == nullptr || args->kind != JsonValue::Kind::kObject) return;
+  for (const auto& [key, v] : args->members) {
+    if (v.kind == JsonValue::Kind::kString)
+      str_args->emplace_back(key, v.string);
+    else if (v.kind == JsonValue::Kind::kNumber)
+      num_args->emplace_back(key, v.number);
+  }
+}
+
+/// Optional "pid" field; the in-process exporter historically wrote pid 1,
+/// so that stays the default for flat traces.
+int extract_pid(const JsonValue& ev) {
+  const JsonValue* pid = ev.find("pid");
+  if (pid != nullptr && pid->kind == JsonValue::Kind::kNumber)
+    return static_cast<int>(pid->number);
+  return 1;
+}
+
 bool extract_event(const JsonValue& ev, SpanRecord* out, std::string* error) {
   const JsonValue* name = ev.find("name");
   const JsonValue* ts = ev.find("ts");
@@ -70,17 +92,89 @@ bool extract_event(const JsonValue& ev, SpanRecord* out, std::string* error) {
     out->cat = cat->string;
   out->ts_us = to_u64(ts->number);
   out->dur_us = to_u64(dur->number);
+  out->pid = extract_pid(ev);
   out->tid = static_cast<int>(tid->number);
-  if (const JsonValue* args = ev.find("args");
-      args != nullptr && args->kind == JsonValue::Kind::kObject) {
-    for (const auto& [key, v] : args->members) {
-      if (v.kind == JsonValue::Kind::kString)
-        out->str_args.emplace_back(key, v.string);
-      else if (v.kind == JsonValue::Kind::kNumber)
-        out->num_args.emplace_back(key, v.number);
+  extract_args(ev, &out->str_args, &out->num_args);
+  return true;
+}
+
+bool extract_instant(const JsonValue& ev, InstantRecord* out,
+                     std::string* error) {
+  const JsonValue* name = ev.find("name");
+  const JsonValue* ts = ev.find("ts");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+      ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+    *error = "instant event missing name/ts";
+    return false;
+  }
+  out->name = name->string;
+  if (const JsonValue* cat = ev.find("cat");
+      cat != nullptr && cat->kind == JsonValue::Kind::kString)
+    out->cat = cat->string;
+  out->ts_us = to_u64(ts->number);
+  out->pid = extract_pid(ev);
+  if (const JsonValue* tid = ev.find("tid");
+      tid != nullptr && tid->kind == JsonValue::Kind::kNumber)
+    out->tid = static_cast<int>(tid->number);
+  extract_args(ev, &out->str_args, &out->num_args);
+  return true;
+}
+
+/// Critical path of one process's engine stage1/stage2 spans (barrier and
+/// dependency models — see the header comment).
+CriticalPath engine_critical_path(
+    const std::map<std::pair<std::string, int>, const SpanRecord*>& stage1,
+    const std::vector<const SpanRecord*>& stage2) {
+  CriticalPath cp;
+  if (stage1.empty() && stage2.empty()) return cp;
+  cp.available = true;
+  auto label_of = [](const SpanRecord& s) {
+    const std::string* task = s.find_str("task");
+    return task != nullptr ? *task : s.name;
+  };
+  const SpanRecord* worst1 = nullptr;
+  for (const auto& [key, s] : stage1)
+    if (worst1 == nullptr || s->dur_us > worst1->dur_us) worst1 = s;
+  const SpanRecord* worst2 = nullptr;
+  for (const SpanRecord* s : stage2)
+    if (worst2 == nullptr || s->dur_us > worst2->dur_us) worst2 = s;
+  if (worst1 != nullptr) {
+    cp.barrier_chain.push_back({"stage1", label_of(*worst1), worst1->dur_us});
+    cp.barrier_us += worst1->dur_us;
+  }
+  if (worst2 != nullptr) {
+    cp.barrier_chain.push_back({"stage2", label_of(*worst2), worst2->dur_us});
+    cp.barrier_us += worst2->dur_us;
+  }
+  // Dependency model: chain each stage-2 task to its own circuit's
+  // stage-1 group only.
+  for (const SpanRecord* s2 : stage2) {
+    const std::string* circuit = s2->find_str("circuit");
+    const std::string* method = s2->find_str("method");
+    std::uint64_t chain = s2->dur_us;
+    const SpanRecord* dep = nullptr;
+    if (circuit != nullptr && method != nullptr) {
+      const int g = group_of_method(*method);
+      const auto it = g >= 0 ? stage1.find({*circuit, g}) : stage1.end();
+      if (it != stage1.end()) {
+        dep = it->second;
+        chain += dep->dur_us;
+      }
+    }
+    if (chain > cp.dependency_us) {
+      cp.dependency_us = chain;
+      cp.dependency_chain.clear();
+      if (dep != nullptr)
+        cp.dependency_chain.push_back({"stage1", label_of(*dep), dep->dur_us});
+      cp.dependency_chain.push_back({"stage2", label_of(*s2), s2->dur_us});
     }
   }
-  return true;
+  // A stage-1-only trace (no stage 2 ran): its path is the slowest task.
+  if (stage2.empty() && worst1 != nullptr) {
+    cp.dependency_us = worst1->dur_us;
+    cp.dependency_chain = {{"stage1", label_of(*worst1), worst1->dur_us}};
+  }
+  return cp;
 }
 
 }  // namespace
@@ -92,6 +186,18 @@ const std::string* SpanRecord::find_str(std::string_view key) const {
 }
 
 const double* SpanRecord::find_num(std::string_view key) const {
+  for (const auto& [k, v] : num_args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::string* InstantRecord::find_str(std::string_view key) const {
+  for (const auto& [k, v] : str_args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const double* InstantRecord::find_num(std::string_view key) const {
   for (const auto& [k, v] : num_args)
     if (k == key) return &v;
   return nullptr;
@@ -115,31 +221,59 @@ bool analyze_chrome_trace(std::string_view json, TraceProfile* out,
   }
 
   std::vector<SpanRecord> raw;
+  std::map<int, std::string> process_names;  // from process_name metadata
   for (const JsonValue& ev : events->items) {
     if (ev.kind != JsonValue::Kind::kObject) continue;
     const JsonValue* ph = ev.find("ph");
-    if (ph == nullptr || ph->string != "X") continue;  // metadata etc.
-    SpanRecord s;
-    std::string ev_error;
-    if (!extract_event(ev, &s, &ev_error)) {
-      if (error != nullptr) *error = ev_error;
-      return false;
+    if (ph == nullptr) continue;
+    if (ph->string == "X") {
+      SpanRecord s;
+      std::string ev_error;
+      if (!extract_event(ev, &s, &ev_error)) {
+        if (error != nullptr) *error = ev_error;
+        return false;
+      }
+      raw.push_back(std::move(s));
+    } else if (ph->string == "i") {
+      InstantRecord ir;
+      std::string ev_error;
+      if (!extract_instant(ev, &ir, &ev_error)) {
+        if (error != nullptr) *error = ev_error;
+        return false;
+      }
+      out->lifecycle.push_back(std::move(ir));
+    } else if (ph->string == "M") {
+      const JsonValue* name = ev.find("name");
+      if (name != nullptr && name->string == "process_name") {
+        const JsonValue* args = ev.find("args");
+        const JsonValue* label =
+            args != nullptr ? args->find("name") : nullptr;
+        if (label != nullptr && label->kind == JsonValue::Kind::kString)
+          process_names[extract_pid(ev)] = label->string;
+      }
     }
-    raw.push_back(std::move(s));
   }
+  std::sort(out->lifecycle.begin(), out->lifecycle.end(),
+            [](const InstantRecord& a, const InstantRecord& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.pid != b.pid) return a.pid < b.pid;
+              return a.name < b.name;
+            });
 
-  // Rebuild the forest per thread: sort by (start, −duration) so a parent
-  // precedes the children it contains, then nest with an open-span stack.
-  std::map<int, std::vector<std::size_t>> by_tid;
+  // Rebuild the forest per (pid, tid) lane: sort by (start, −duration) so
+  // a parent precedes the children it contains, then nest with an
+  // open-span stack.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> by_lane;
   for (std::size_t i = 0; i < raw.size(); ++i)
-    by_tid[raw[i].tid].push_back(i);
+    by_lane[{raw[i].pid, raw[i].tid}].push_back(i);
 
   out->num_events = raw.size();
   out->spans.reserve(raw.size());
   std::uint64_t min_ts = UINT64_MAX;
   std::uint64_t max_end = 0;
 
-  for (auto& [tid, indices] : by_tid) {
+  for (auto& [lane, indices] : by_lane) {
+    const int tid = lane.second;
     std::sort(indices.begin(), indices.end(),
               [&raw](std::size_t a, std::size_t b) {
                 if (raw[a].ts_us != raw[b].ts_us)
@@ -149,6 +283,7 @@ bool analyze_chrome_trace(std::string_view json, TraceProfile* out,
                 return a < b;
               });
     ThreadTotals tt;
+    tt.pid = lane.first;
     tt.tid = tid;
     tt.first_ts_us = UINT64_MAX;
     std::vector<int> stack;  // indices into out->spans
@@ -191,6 +326,36 @@ bool analyze_chrome_trace(std::string_view json, TraceProfile* out,
   out->wall_us = max_end >= min_ts && min_ts != UINT64_MAX ? max_end - min_ts
                                                            : 0;
 
+  // Per-process rollups over the thread lanes; instants count toward the
+  // owning pid so a lane that only crashed (no shipped spans) still shows.
+  std::map<int, ProcessTotals> procs;
+  for (const ThreadTotals& t : out->threads) {
+    ProcessTotals& pr = procs[t.pid];
+    if (pr.num_threads == 0) {
+      pr.pid = t.pid;
+      pr.first_ts_us = t.first_ts_us;
+      pr.last_end_us = t.last_end_us;
+    }
+    pr.num_threads += 1;
+    pr.events += t.events;
+    pr.busy_us += t.busy_us;
+    pr.self_us += t.self_us;
+    pr.first_ts_us = std::min(pr.first_ts_us, t.first_ts_us);
+    pr.last_end_us = std::max(pr.last_end_us, t.last_end_us);
+  }
+  for (const InstantRecord& ir : out->lifecycle) {
+    if (procs.find(ir.pid) == procs.end()) {
+      ProcessTotals& pr = procs[ir.pid];
+      pr.pid = ir.pid;
+      pr.first_ts_us = ir.ts_us;
+      pr.last_end_us = ir.ts_us;
+    }
+  }
+  for (auto& [pid, pr] : procs) {
+    if (const auto it = process_names.find(pid); it != process_names.end())
+      pr.name = it->second;
+  }
+
   // Per-phase aggregation over (name, cat).
   std::map<std::pair<std::string, std::string>, PhaseTotals> phases;
   for (const SpanRecord& s : out->spans) {
@@ -213,12 +378,23 @@ bool analyze_chrome_trace(std::string_view json, TraceProfile* out,
               return a.name < b.name;
             });
 
-  // Engine-stage analysis: queue waits + critical path.
+  // Engine-stage analysis: queue waits (global) + a critical path per
+  // process — merged worker lanes each ran their own engine.
   std::vector<std::uint64_t> wait1;
   std::vector<std::uint64_t> wait2;
-  std::map<std::pair<std::string, int>, const SpanRecord*> stage1;  // ×group
-  std::vector<const SpanRecord*> stage2;
+  std::map<int, std::map<std::pair<std::string, int>, const SpanRecord*>>
+      stage1_by_pid;  // pid → (circuit × group) → slowest attempt
+  std::map<int, std::vector<const SpanRecord*>> stage2_by_pid;
   for (const SpanRecord& s : out->spans) {
+    if (s.cat == "shard" && s.name == "supervise") {
+      out->supervisor.available = true;
+      out->supervisor.supervise_us += s.dur_us;
+      if (const double* w = s.find_num("poll_wait_us"))
+        out->supervisor.poll_wait_us += to_u64(*w);
+      if (const double* n = s.find_num("polls"))
+        out->supervisor.polls += to_u64(*n);
+      continue;
+    }
     if (s.cat != "engine") continue;
     if (s.name == "stage1") {
       if (const double* w = s.find_num("queue_wait_us"))
@@ -229,71 +405,43 @@ bool analyze_chrome_trace(std::string_view json, TraceProfile* out,
         // Keep the slowest attempt if a (circuit, group) repeats (e.g. two
         // run_suite calls in one trace) — conservative for the path.
         const SpanRecord*& slot =
-            stage1[{*circuit, static_cast<int>(*group)}];
+            stage1_by_pid[s.pid][{*circuit, static_cast<int>(*group)}];
         if (slot == nullptr || s.dur_us > slot->dur_us) slot = &s;
       }
     } else if (s.name == "stage2") {
       if (const double* w = s.find_num("queue_wait_us"))
         wait2.push_back(to_u64(*w));
-      stage2.push_back(&s);
+      stage2_by_pid[s.pid].push_back(&s);
     }
   }
   out->stage1_wait = wait_stats(std::move(wait1));
   out->stage2_wait = wait_stats(std::move(wait2));
 
-  auto label_of = [](const SpanRecord& s) {
-    const std::string* task = s.find_str("task");
-    return task != nullptr ? *task : s.name;
-  };
-  if (!stage1.empty() || !stage2.empty()) {
-    CriticalPath& cp = out->critical;
-    cp.available = true;
-    const SpanRecord* worst1 = nullptr;
-    for (const auto& [key, s] : stage1)
-      if (worst1 == nullptr || s->dur_us > worst1->dur_us) worst1 = s;
-    const SpanRecord* worst2 = nullptr;
-    for (const SpanRecord* s : stage2)
-      if (worst2 == nullptr || s->dur_us > worst2->dur_us) worst2 = s;
-    if (worst1 != nullptr) {
-      cp.barrier_chain.push_back({"stage1", label_of(*worst1),
-                                  worst1->dur_us});
-      cp.barrier_us += worst1->dur_us;
-    }
-    if (worst2 != nullptr) {
-      cp.barrier_chain.push_back({"stage2", label_of(*worst2),
-                                  worst2->dur_us});
-      cp.barrier_us += worst2->dur_us;
-    }
-    // Dependency model: chain each stage-2 task to its own circuit's
-    // stage-1 group only.
-    for (const SpanRecord* s2 : stage2) {
-      const std::string* circuit = s2->find_str("circuit");
-      const std::string* method = s2->find_str("method");
-      std::uint64_t chain = s2->dur_us;
-      const SpanRecord* dep = nullptr;
-      if (circuit != nullptr && method != nullptr) {
-        const int g = group_of_method(*method);
-        const auto it = g >= 0 ? stage1.find({*circuit, g}) : stage1.end();
-        if (it != stage1.end()) {
-          dep = it->second;
-          chain += dep->dur_us;
-        }
-      }
-      if (chain > cp.dependency_us) {
-        cp.dependency_us = chain;
-        cp.dependency_chain.clear();
-        if (dep != nullptr)
-          cp.dependency_chain.push_back({"stage1", label_of(*dep),
-                                         dep->dur_us});
-        cp.dependency_chain.push_back({"stage2", label_of(*s2), s2->dur_us});
-      }
-    }
-    // A stage-1-only trace (no stage 2 ran): its path is the slowest task.
-    if (stage2.empty() && worst1 != nullptr) {
-      cp.dependency_us = worst1->dur_us;
-      cp.dependency_chain = {{"stage1", label_of(*worst1), worst1->dur_us}};
-    }
+  std::vector<int> engine_pids;
+  for (const auto& [pid, m] : stage1_by_pid) engine_pids.push_back(pid);
+  for (const auto& [pid, v] : stage2_by_pid)
+    if (stage1_by_pid.find(pid) == stage1_by_pid.end())
+      engine_pids.push_back(pid);
+  std::sort(engine_pids.begin(), engine_pids.end());
+  static const std::map<std::pair<std::string, int>, const SpanRecord*>
+      kNoStage1;
+  static const std::vector<const SpanRecord*> kNoStage2;
+  for (const int pid : engine_pids) {
+    const auto it1 = stage1_by_pid.find(pid);
+    const auto it2 = stage2_by_pid.find(pid);
+    CriticalPath cp = engine_critical_path(
+        it1 != stage1_by_pid.end() ? it1->second : kNoStage1,
+        it2 != stage2_by_pid.end() ? it2->second : kNoStage2);
+    // The dominant per-process path becomes the trace-level one — for a
+    // flat single-pid trace this is exactly the old single-forest answer.
+    if (!out->critical.available || cp.barrier_us > out->critical.barrier_us)
+      out->critical = cp;
+    if (const auto pit = procs.find(pid); pit != procs.end())
+      pit->second.critical = std::move(cp);
   }
+
+  out->processes.reserve(procs.size());
+  for (auto& [pid, pr] : procs) out->processes.push_back(std::move(pr));
   return true;
 }
 
@@ -342,6 +490,20 @@ void write_chain(JsonWriter& w, const char* key,
   w.end_array();
 }
 
+void write_critical(JsonWriter& w, const char* key, const CriticalPath& cp) {
+  w.key(key);
+  w.begin_object();
+  w.field("available", cp.available);
+  w.field("barrier_us", cp.barrier_us);
+  write_chain(w, "barrier_chain", cp.barrier_chain);
+  w.field("dependency_us", cp.dependency_us);
+  write_chain(w, "dependency_chain", cp.dependency_chain);
+  w.field("barrier_slack_us", cp.barrier_us > cp.dependency_us
+                                  ? cp.barrier_us - cp.dependency_us
+                                  : 0);
+  w.end_object();
+}
+
 double ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
 
 }  // namespace
@@ -355,6 +517,8 @@ void write_profile_json(std::ostream& os, const TraceProfile& p,
   w.field("num_events", static_cast<unsigned long long>(p.num_events));
   w.field("wall_us", p.wall_us);
   w.field("num_threads", static_cast<unsigned long long>(p.threads.size()));
+  w.field("num_processes",
+          static_cast<unsigned long long>(p.processes.size()));
   w.key("phases");
   w.begin_array();
   for (const PhaseTotals& ph : p.phases) write_phase_row(w, ph);
@@ -369,6 +533,7 @@ void write_profile_json(std::ostream& os, const TraceProfile& p,
   w.begin_array();
   for (const ThreadTotals& t : p.threads) {
     w.begin_object();
+    w.field("pid", t.pid);
     w.field("tid", t.tid);
     w.field("events", t.events);
     w.field("busy_us", t.busy_us);
@@ -383,70 +548,189 @@ void write_profile_json(std::ostream& os, const TraceProfile& p,
     w.end_object();
   }
   w.end_array();
+  w.key("processes");
+  w.begin_array();
+  for (const ProcessTotals& pr : p.processes) {
+    w.begin_object();
+    w.field("pid", pr.pid);
+    w.field("name", pr.name);
+    w.field("num_threads", static_cast<unsigned long long>(pr.num_threads));
+    w.field("events", pr.events);
+    w.field("busy_us", pr.busy_us);
+    w.field("self_us", pr.self_us);
+    w.field("first_ts_us", pr.first_ts_us);
+    w.field("last_end_us", pr.last_end_us);
+    w.field("wall_us", pr.wall_us());
+    w.field("utilization",
+            p.wall_us ? static_cast<double>(pr.busy_us) /
+                            static_cast<double>(p.wall_us)
+                      : 0.0);
+    write_critical(w, "critical_path", pr.critical);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("lifecycle");
+  w.begin_array();
+  for (const InstantRecord& ir : p.lifecycle) {
+    w.begin_object();
+    w.field("ts_us", ir.ts_us);
+    w.field("name", ir.name);
+    w.field("cat", ir.cat);
+    w.field("pid", ir.pid);
+    w.key("args");
+    w.begin_object();
+    for (const auto& [k, v] : ir.str_args) w.field(k.c_str(), v);
+    for (const auto& [k, v] : ir.num_args) w.field(k.c_str(), v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
   w.key("queue_wait");
   w.begin_object();
   write_wait(w, "stage1", p.stage1_wait);
   write_wait(w, "stage2", p.stage2_wait);
   w.end_object();
-  w.key("critical_path");
+  write_critical(w, "critical_path", p.critical);
+  w.key("supervisor");
   w.begin_object();
-  w.field("available", p.critical.available);
-  w.field("barrier_us", p.critical.barrier_us);
-  write_chain(w, "barrier_chain", p.critical.barrier_chain);
-  w.field("dependency_us", p.critical.dependency_us);
-  write_chain(w, "dependency_chain", p.critical.dependency_chain);
-  w.field("barrier_slack_us",
-          p.critical.barrier_us > p.critical.dependency_us
-              ? p.critical.barrier_us - p.critical.dependency_us
-              : 0);
+  w.field("available", p.supervisor.available);
+  w.field("supervise_us", p.supervisor.supervise_us);
+  w.field("poll_wait_us", p.supervisor.poll_wait_us);
+  w.field("busy_us", p.supervisor.busy_us());
+  w.field("polls", p.supervisor.polls);
   w.end_object();
   w.end_object();
   os << '\n';
 }
 
 void print_profile(std::ostream& os, const TraceProfile& p, int top_n) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "trace: %zu spans on %zu threads, wall %.3f ms\n",
-                p.num_events, p.threads.size(), ms(p.wall_us));
-  os << buf;
-  if (p.spans.empty()) return;
-
-  std::snprintf(buf, sizeof(buf),
-                "\n%-12s %-8s %6s %12s %12s %10s %10s %8s\n", "phase", "cat",
-                "count", "total ms", "self ms", "min ms", "max ms", "self %");
-  os << buf;
-  os << std::string(86, '-') << '\n';
-  std::uint64_t self_sum = 0;
-  for (const PhaseTotals& ph : p.phases) self_sum += ph.self_us;
-  int rows = 0;
-  for (const PhaseTotals& ph : p.phases) {
-    if (rows++ >= top_n) break;
+  char buf[320];
+  if (p.processes.size() > 1) {
     std::snprintf(buf, sizeof(buf),
-                  "%-12s %-8s %6llu %12.3f %12.3f %10.3f %10.3f %7.1f%%\n",
-                  ph.name.c_str(), ph.cat.c_str(),
-                  static_cast<unsigned long long>(ph.count), ms(ph.total_us),
-                  ms(ph.self_us), ms(ph.min_us), ms(ph.max_us),
-                  self_sum ? 100.0 * static_cast<double>(ph.self_us) /
-                                 static_cast<double>(self_sum)
-                           : 0.0);
-    os << buf;
+                  "trace: %zu spans on %zu threads across %zu processes, "
+                  "wall %.3f ms\n",
+                  p.num_events, p.threads.size(), p.processes.size(),
+                  ms(p.wall_us));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "trace: %zu spans on %zu threads, wall %.3f ms\n",
+                  p.num_events, p.threads.size(), ms(p.wall_us));
   }
-  if (p.phases.size() > static_cast<std::size_t>(top_n)) {
-    std::snprintf(buf, sizeof(buf), "(%zu more phases; see --json)\n",
-                  p.phases.size() - static_cast<std::size_t>(top_n));
+  os << buf;
+  if (p.spans.empty() && p.lifecycle.empty()) return;
+
+  if (!p.phases.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n%-12s %-8s %6s %12s %12s %10s %10s %8s\n", "phase", "cat",
+                  "count", "total ms", "self ms", "min ms", "max ms",
+                  "self %");
     os << buf;
+    os << std::string(86, '-') << '\n';
+    std::uint64_t self_sum = 0;
+    for (const PhaseTotals& ph : p.phases) self_sum += ph.self_us;
+    int rows = 0;
+    for (const PhaseTotals& ph : p.phases) {
+      if (rows++ >= top_n) break;
+      std::snprintf(buf, sizeof(buf),
+                    "%-12s %-8s %6llu %12.3f %12.3f %10.3f %10.3f %7.1f%%\n",
+                    ph.name.c_str(), ph.cat.c_str(),
+                    static_cast<unsigned long long>(ph.count), ms(ph.total_us),
+                    ms(ph.self_us), ms(ph.min_us), ms(ph.max_us),
+                    self_sum ? 100.0 * static_cast<double>(ph.self_us) /
+                                   static_cast<double>(self_sum)
+                             : 0.0);
+      os << buf;
+    }
+    if (p.phases.size() > static_cast<std::size_t>(top_n)) {
+      std::snprintf(buf, sizeof(buf), "(%zu more phases; see --json)\n",
+                    p.phases.size() - static_cast<std::size_t>(top_n));
+      os << buf;
+    }
   }
 
-  os << "\nthread   events    busy ms    self ms  utilization\n";
-  os << std::string(52, '-') << '\n';
-  for (const ThreadTotals& t : p.threads) {
-    std::snprintf(buf, sizeof(buf), "%-8d %6llu %10.3f %10.3f %11.1f%%\n",
-                  t.tid, static_cast<unsigned long long>(t.events),
-                  ms(t.busy_us), ms(t.self_us),
-                  p.wall_us ? 100.0 * static_cast<double>(t.busy_us) /
-                                  static_cast<double>(p.wall_us)
-                            : 0.0);
+  const bool multi = p.processes.size() > 1;
+  if (!p.threads.empty()) {
+    if (multi) {
+      os << "\npid      thread   events    busy ms    self ms  utilization\n";
+      os << std::string(61, '-') << '\n';
+    } else {
+      os << "\nthread   events    busy ms    self ms  utilization\n";
+      os << std::string(52, '-') << '\n';
+    }
+    for (const ThreadTotals& t : p.threads) {
+      const double util = p.wall_us ? 100.0 * static_cast<double>(t.busy_us) /
+                                          static_cast<double>(p.wall_us)
+                                    : 0.0;
+      if (multi) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-8d %-8d %6llu %10.3f %10.3f %11.1f%%\n", t.pid,
+                      t.tid, static_cast<unsigned long long>(t.events),
+                      ms(t.busy_us), ms(t.self_us), util);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%-8d %6llu %10.3f %10.3f %11.1f%%\n",
+                      t.tid, static_cast<unsigned long long>(t.events),
+                      ms(t.busy_us), ms(t.self_us), util);
+      }
+      os << buf;
+    }
+  }
+
+  if (multi) {
+    os << "\nprocess lanes:\n";
+    for (const ProcessTotals& pr : p.processes) {
+      std::snprintf(buf, sizeof(buf),
+                    "  pid %-7d %-28s threads=%zu events=%llu busy=%.3f ms "
+                    "wall=%.3f ms util=%.1f%%\n",
+                    pr.pid, pr.name.empty() ? "?" : pr.name.c_str(),
+                    pr.num_threads,
+                    static_cast<unsigned long long>(pr.events), ms(pr.busy_us),
+                    ms(pr.wall_us()),
+                    p.wall_us ? 100.0 * static_cast<double>(pr.busy_us) /
+                                    static_cast<double>(p.wall_us)
+                              : 0.0);
+      os << buf;
+      if (pr.critical.available) {
+        std::snprintf(buf, sizeof(buf),
+                      "    critical path %.3f ms (dependency bound %.3f ms)",
+                      ms(pr.critical.barrier_us), ms(pr.critical.dependency_us));
+        os << buf;
+        for (const PathStep& step : pr.critical.barrier_chain) {
+          std::snprintf(buf, sizeof(buf), "  %s:%s %.3f ms",
+                        step.stage.c_str(), step.task.c_str(),
+                        ms(step.dur_us));
+          os << buf;
+        }
+        os << '\n';
+      }
+    }
+  }
+
+  if (!p.lifecycle.empty()) {
+    os << "\nlifecycle events:\n";
+    for (const InstantRecord& ir : p.lifecycle) {
+      std::snprintf(buf, sizeof(buf), "  %12.3f ms  %-18s pid=%d", ms(ir.ts_us),
+                    ir.name.c_str(), ir.pid);
+      os << buf;
+      for (const auto& [k, v] : ir.str_args) os << ' ' << k << '=' << v;
+      for (const auto& [k, v] : ir.num_args) {
+        std::snprintf(buf, sizeof(buf), " %s=%.0f", k.c_str(), v);
+        os << buf;
+      }
+      os << '\n';
+    }
+  }
+
+  if (p.supervisor.available) {
+    const std::uint64_t su = p.supervisor.supervise_us;
+    std::snprintf(buf, sizeof(buf),
+                  "\nsupervisor: supervise %.3f ms, blocked in poll %.3f ms "
+                  "(%.1f%%), busy %.3f ms, %llu polls\n",
+                  ms(su), ms(p.supervisor.poll_wait_us),
+                  su ? 100.0 * static_cast<double>(p.supervisor.poll_wait_us) /
+                           static_cast<double>(su)
+                     : 0.0,
+                  ms(p.supervisor.busy_us()),
+                  static_cast<unsigned long long>(p.supervisor.polls));
     os << buf;
   }
 

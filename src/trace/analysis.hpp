@@ -5,26 +5,38 @@
 //
 // The exporter writes flat `ph:"X"` complete events; nesting is not
 // recorded. Because spans are RAII scopes, events on one thread are
-// strictly nested, so the forest is rebuilt per tid from interval
-// containment: sort by (start asc, duration desc) and maintain an open-span
-// stack. Both endpoints were floored against the same origin at export
-// time, so a child interval is always contained in its parent's and the
-// child-duration sum never exceeds the parent duration — self time
+// strictly nested, so the forest is rebuilt per (pid, tid) lane from
+// interval containment: sort by (start asc, duration desc) and maintain an
+// open-span stack. Both endpoints were floored against the same origin at
+// export time, so a child interval is always contained in its parent's and
+// the child-duration sum never exceeds the parent duration — self time
 // (duration minus direct children) is non-negative by construction.
+//
+// Multi-process traces (DESIGN.md §15): the sharded supervisor merges its
+// own lane with one lane per worker incarnation, all on a shared
+// monotonic timebase. The profiler keys the forest on (pid, tid), carries
+// `process_name` metadata through to per-process totals, recovers
+// `ph:"i"` lifecycle instants (worker-start, sigkill, worker-restart, …)
+// into a timeline, and computes a critical path per process — the
+// top-level `critical` is the dominant one, which for a single-process
+// trace is exactly the old single-forest answer.
 //
 // On top of the forest the profiler computes:
 //   - per-phase (span name × category) totals: count, total vs self time,
 //     min/max — total time double-counts nested phases, self time never
 //     does, so self sums to ≤ wall per thread;
 //   - top-N hotspots by self time;
-//   - per-thread utilization (busy = top-level span time; wall = global
-//     trace extent) and stage1/stage2 queue-wait statistics from the
-//     engine's `queue_wait_us` span args;
-//   - the critical path through the FlowEngine's two fan-out stages, under
-//     the engine's actual barrier schedule (slowest stage-1 task + slowest
-//     stage-2 task) and under the pure dependency model (a stage-2 task
-//     needs only its own circuit's stage-1 group), whose gap quantifies
-//     what removing the barrier could save.
+//   - per-(pid, tid) utilization (busy = top-level span time; wall =
+//     global trace extent) and stage1/stage2 queue-wait statistics from
+//     the engine's `queue_wait_us` span args;
+//   - per-process critical paths through the FlowEngine's two fan-out
+//     stages, under the engine's actual barrier schedule (slowest stage-1
+//     task + slowest stage-2 task) and under the pure dependency model (a
+//     stage-2 task needs only its own circuit's stage-1 group), whose gap
+//     quantifies what removing the barrier could save;
+//   - the supervisor-blocking breakdown from the `supervise` shard span:
+//     how much of the supervise loop was spent blocked in poll() versus
+//     draining pipes and handling lifecycle.
 //
 // Consumed by `minpower profile <trace.json>`, which renders the text
 // tables and the machine-readable `minpower.profile.v1` document.
@@ -44,6 +56,7 @@ struct SpanRecord {
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
   std::uint64_t self_us = 0;  // dur minus direct children
+  int pid = 1;
   int tid = 0;
   int parent = -1;  // index into TraceProfile::spans, -1 = top level
   int depth = 0;
@@ -67,6 +80,7 @@ struct PhaseTotals {
 };
 
 struct ThreadTotals {
+  int pid = 1;
   int tid = 0;
   std::uint64_t events = 0;
   std::uint64_t busy_us = 0;  // top-level span durations
@@ -74,6 +88,20 @@ struct ThreadTotals {
   std::uint64_t first_ts_us = 0;
   std::uint64_t last_end_us = 0;
   std::uint64_t wall_us() const { return last_end_us - first_ts_us; }
+};
+
+/// One recovered `ph:"i"` lifecycle instant (worker-start, sigkill, …).
+struct InstantRecord {
+  std::string name;
+  std::string cat;
+  std::uint64_t ts_us = 0;
+  int pid = 1;
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> str_args;
+  std::vector<std::pair<std::string, double>> num_args;
+
+  const std::string* find_str(std::string_view key) const;
+  const double* find_num(std::string_view key) const;
 };
 
 /// Order statistics of the per-task `queue_wait_us` samples of one stage.
@@ -106,15 +134,48 @@ struct CriticalPath {
   std::vector<PathStep> dependency_chain;
 };
 
+/// Per-process rollup of a multi-pid trace: one entry per pid lane.
+struct ProcessTotals {
+  int pid = 1;
+  std::string name;  // from process_name metadata, may be empty
+  std::size_t num_threads = 0;
+  std::uint64_t events = 0;
+  std::uint64_t busy_us = 0;  // Σ top-level span time over its threads
+  std::uint64_t self_us = 0;
+  std::uint64_t first_ts_us = 0;
+  std::uint64_t last_end_us = 0;
+  std::uint64_t wall_us() const { return last_end_us - first_ts_us; }
+  /// This process's own engine critical path (stage1/stage2 spans with
+  /// this pid). `available` is false for lanes without engine spans.
+  CriticalPath critical;
+};
+
+/// Where the shard supervisor's supervise loop spent its time, from the
+/// `supervise` (cat "shard") span's args. Absent for non-sharded traces.
+struct SupervisorBreakdown {
+  bool available = false;
+  std::uint64_t supervise_us = 0;  // supervise span duration
+  std::uint64_t poll_wait_us = 0;  // blocked in poll() waiting on workers
+  std::uint64_t polls = 0;         // poll() calls
+  std::uint64_t busy_us() const {
+    return supervise_us > poll_wait_us ? supervise_us - poll_wait_us : 0;
+  }
+};
+
 struct TraceProfile {
   std::size_t num_events = 0;  // recovered ph:"X" spans
   std::uint64_t wall_us = 0;   // max end − min start over all spans
-  std::vector<SpanRecord> spans;      // grouped by tid, start-time order
+  std::vector<SpanRecord> spans;      // grouped by (pid, tid), start order
   std::vector<PhaseTotals> phases;    // sorted by self_us descending
-  std::vector<ThreadTotals> threads;  // sorted by tid
+  std::vector<ThreadTotals> threads;  // sorted by (pid, tid)
+  std::vector<ProcessTotals> processes;  // sorted by pid; 1 entry if flat
+  std::vector<InstantRecord> lifecycle;  // ph:"i" instants, ts order
   WaitStats stage1_wait;
   WaitStats stage2_wait;
+  /// Dominant per-process critical path (max barrier time). Identical to
+  /// the single forest's path when the trace has one pid.
   CriticalPath critical;
+  SupervisorBreakdown supervisor;
 };
 
 /// Parse a Chrome trace-event JSON document (the object form the tracer

@@ -1,0 +1,67 @@
+#pragma once
+// Prometheus text exposition (version 0.0.4) rendering of a metrics
+// Snapshot — the payload behind serve's `METRICS` verb (DESIGN.md §15).
+//
+// Mapping: registry names use dots (`bdd.ite_calls`); Prometheus names
+// must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid character becomes
+// `_` (and a leading digit gets a `_` prefix). Counters render with a
+// `_total` suffix per convention, gauges as-is, and the log-2 histograms
+// become native Prometheus histograms: our bucket [lo, 2*lo-1] contributes
+// an `le="2*lo-1"` cumulative bound (bucket {0} → le="0"), capped by the
+// mandatory `le="+Inf"` line equal to `_count`. Buckets are cumulative and
+// monotone by construction — test_observability checks both the charset
+// and the monotonicity contract.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "trace/metrics.hpp"
+
+namespace minpower::trace {
+
+/// Mangle a registry name into the Prometheus name charset.
+inline std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+/// Render a snapshot as Prometheus text exposition. Deterministic: the
+/// snapshot is already name-sorted and rendering adds nothing stateful.
+MP_TRACE_COLD inline void write_prometheus(std::ostream& os,
+                                           const metrics::Snapshot& s) {
+  for (const auto& [name, value] : s.counters) {
+    const std::string n = prometheus_name(name) + "_total";
+    os << "# TYPE " << n << " counter\n";
+    os << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : s.gauges) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << ' ' << value << '\n';
+  }
+  for (const metrics::Snapshot::Hist& h : s.histograms) {
+    const std::string n = prometheus_name(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [lo, count] : h.buckets) {
+      cumulative += count;
+      // Inclusive upper bound of the log-2 bucket starting at lo.
+      const std::uint64_t hi = lo == 0 ? 0 : 2 * lo - 1;
+      os << n << "_bucket{le=\"" << hi << "\"} " << cumulative << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << n << "_sum " << h.sum << '\n';
+    os << n << "_count " << h.count << '\n';
+  }
+}
+
+}  // namespace minpower::trace

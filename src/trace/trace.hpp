@@ -17,17 +17,30 @@
 // under a mutex, then written lock-free by its owning thread), so there is
 // no cross-thread contention on the hot path.
 //
-// Export contract: call write_chrome_trace()/clear()/num_events() only
-// after the traced worker threads have been joined and all spans have
-// closed (thread join is the synchronization point that makes the buffers
-// safe to read). The FlowEngine joins its pool before returning, so
-// exporting after run_suite() is always safe.
+// Export contract: call write_chrome_trace()/clear()/num_events()/
+// snapshot_events() only after the traced worker threads have been joined
+// and all spans have closed (thread join is the synchronization point that
+// makes the buffers safe to read). The FlowEngine joins its pool before
+// returning, so exporting after run_suite() is always safe.
 //
 // The emitted file is the Chrome trace-event JSON object form
 // ({"traceEvents":[...]}): `ph:"X"` complete events carrying ts/dur in
-// microseconds plus pid/tid and an args object, with `ph:"M"` metadata
-// naming the process and threads. Open it at chrome://tracing or
-// https://ui.perfetto.dev.
+// microseconds plus pid/tid and an args object, `ph:"i"` process-scoped
+// instant events (trace::Instant — supervisor lifecycle marks), and
+// `ph:"M"` metadata naming the process and threads. Open it at
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Multi-process lanes (DESIGN.md §15): the exported pid defaults to 1 and
+// is settable via set_pid() — the shard supervisor stamps its real pid and
+// each forked worker its own, so merged traces get one lane per process.
+// Cross-process timestamps share one timebase for free: the tracer origin
+// is sampled from CLOCK_MONOTONIC (system-wide) and fork() inherits the
+// already-constructed singleton, so a worker's microseconds are directly
+// comparable to the supervisor's as long as the parent touched
+// Tracer::instance() before forking (`ensure_origin()`).
+// write_merged_chrome_trace() renders a set of ProcessLane event lists —
+// the supervisor's own buffers plus the span snapshots workers ship over
+// the pipe protocol — into one file.
 
 #include <algorithm>
 #include <atomic>
@@ -65,13 +78,69 @@ struct Arg {
   unsigned long long u = 0;
 };
 
-/// A finished span: times are microseconds since the tracer origin.
+/// A finished span (`ph:"X"`) or instant mark (`ph:"i"`, dur ignored):
+/// times are microseconds since the tracer origin.
 struct Event {
   std::string name;
   std::string cat;
+  char ph = 'X';
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
   std::vector<Arg> args;
+};
+
+namespace detail {
+
+inline void add_arg(Event& e, std::string_view key, std::string_view value) {
+  Arg a;
+  a.key.assign(key.data(), key.size());
+  a.kind = Arg::Kind::kString;
+  a.s.assign(value.data(), value.size());
+  e.args.push_back(std::move(a));
+}
+inline void add_arg(Event& e, std::string_view key, double value) {
+  Arg a;
+  a.key.assign(key.data(), key.size());
+  a.kind = Arg::Kind::kDouble;
+  a.d = value;
+  e.args.push_back(std::move(a));
+}
+inline void add_arg(Event& e, std::string_view key, long long value) {
+  Arg a;
+  a.key.assign(key.data(), key.size());
+  a.kind = Arg::Kind::kInt;
+  a.i = value;
+  e.args.push_back(std::move(a));
+}
+inline void add_arg(Event& e, std::string_view key,
+                    unsigned long long value) {
+  Arg a;
+  a.key.assign(key.data(), key.size());
+  a.kind = Arg::Kind::kUint;
+  a.u = value;
+  e.args.push_back(std::move(a));
+}
+
+inline std::uint64_t to_us(std::chrono::steady_clock::duration d) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+}  // namespace detail
+
+/// One thread's lane of a (possibly remote) process: `tid` is the exporting
+/// tracer's thread id, events are in record order.
+struct ThreadEvents {
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+/// Everything one process contributes to a merged trace.
+struct ProcessLane {
+  int pid = 1;
+  std::string name;  // process_name metadata, e.g. "worker-2 (pid 714)"
+  std::vector<ThreadEvents> threads;
 };
 
 class Tracer {
@@ -103,58 +172,94 @@ class Tracer {
     for (const auto& b : buffers_) b->events.clear();
   }
 
+  /// Exported pid lane (default 1). Multi-process runs stamp the real pid
+  /// so merged traces keep one lane per process.
+  int pid() const { return pid_.load(std::memory_order_relaxed); }
+  void set_pid(int pid) { pid_.store(pid, std::memory_order_relaxed); }
+
+  /// Copy of every recorded event, grouped per thread in tid order — the
+  /// unit a shard worker serializes over the pipe and the supervisor merges
+  /// into one file. Same export contract as write_chrome_trace.
+  MP_TRACE_COLD std::vector<ThreadEvents> snapshot_events() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ThreadEvents> out;
+    for (const auto& b : buffers_)
+      if (!b->events.empty()) out.push_back(ThreadEvents{b->tid, b->events});
+    std::sort(out.begin(), out.end(),
+              [](const ThreadEvents& a, const ThreadEvents& b) {
+                return a.tid < b.tid;
+              });
+    return out;
+  }
+
+  /// One Chrome trace-event object (`ph:"X"` complete or `ph:"i"` instant,
+  /// process scope) under the given pid/tid lane.
+  static void write_event_json(JsonWriter& w, const Event& e, int pid,
+                               int tid) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", e.cat);
+    if (e.ph == 'i') {
+      w.field("ph", "i");
+      w.field("s", "p");
+      w.field("ts", static_cast<unsigned long long>(e.ts_us));
+    } else {
+      w.field("ph", "X");
+      w.field("ts", static_cast<unsigned long long>(e.ts_us));
+      w.field("dur", static_cast<unsigned long long>(e.dur_us));
+    }
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.key("args");
+    w.begin_object();
+    for (const Arg& a : e.args) {
+      w.key(a.key);
+      switch (a.kind) {
+        case Arg::Kind::kString: w.value(a.s); break;
+        case Arg::Kind::kDouble: w.value(a.d); break;
+        case Arg::Kind::kInt: w.value(a.i); break;
+        case Arg::Kind::kUint: w.value(a.u); break;
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  static void write_metadata(JsonWriter& w, const char* name, int pid,
+                             int tid, const std::string& value) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field("name", value);
+    w.end_object();
+    w.end_object();
+  }
+
   /// Emit everything recorded so far as Chrome trace-event JSON.
   MP_TRACE_COLD void write_chrome_trace(std::ostream& os) {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<ThreadBuffer*> bufs;
-    for (const auto& b : buffers_) bufs.push_back(b.get());
-    std::sort(bufs.begin(), bufs.end(),
-              [](const ThreadBuffer* a, const ThreadBuffer* b) {
-                return a->tid < b->tid;
-              });
-
+    const int pid = this->pid();
+    const std::vector<ThreadEvents> lanes = snapshot_events();
     JsonWriter w(os, /*pretty=*/false);
     w.begin_object();
     w.field("displayTimeUnit", "ms");
     w.key("traceEvents");
     w.begin_array();
-    write_metadata(w, "process_name", /*tid=*/0, "minpower");
-    for (const ThreadBuffer* b : bufs)
-      write_metadata(w, "thread_name", b->tid,
-                     "thread-" + std::to_string(b->tid));
-    for (const ThreadBuffer* b : bufs) {
-      for (const Event& e : b->events) {
-        w.begin_object();
-        w.field("name", e.name);
-        w.field("cat", e.cat);
-        w.field("ph", "X");
-        w.field("ts", static_cast<unsigned long long>(e.ts_us));
-        w.field("dur", static_cast<unsigned long long>(e.dur_us));
-        w.field("pid", kPid);
-        w.field("tid", b->tid);
-        w.key("args");
-        w.begin_object();
-        for (const Arg& a : e.args) {
-          w.key(a.key);
-          switch (a.kind) {
-            case Arg::Kind::kString: w.value(a.s); break;
-            case Arg::Kind::kDouble: w.value(a.d); break;
-            case Arg::Kind::kInt: w.value(a.i); break;
-            case Arg::Kind::kUint: w.value(a.u); break;
-          }
-        }
-        w.end_object();
-        w.end_object();
-      }
-    }
+    write_metadata(w, "process_name", pid, /*tid=*/0, "minpower");
+    for (const ThreadEvents& t : lanes)
+      write_metadata(w, "thread_name", pid, t.tid,
+                     "thread-" + std::to_string(t.tid));
+    for (const ThreadEvents& t : lanes)
+      for (const Event& e : t.events) write_event_json(w, e, pid, t.tid);
     w.end_array();
     w.end_object();
     os << '\n';
   }
 
  private:
-  static constexpr int kPid = 1;
-
   struct ThreadBuffer {
     int tid = 0;
     std::vector<Event> events;
@@ -175,22 +280,9 @@ class Tracer {
     return *buf;
   }
 
-  static void write_metadata(JsonWriter& w, const char* name, int tid,
-                             const std::string& value) {
-    w.begin_object();
-    w.field("name", name);
-    w.field("ph", "M");
-    w.field("pid", kPid);
-    w.field("tid", tid);
-    w.key("args");
-    w.begin_object();
-    w.field("name", value);
-    w.end_object();
-    w.end_object();
-  }
-
   Clock::time_point origin_;
   std::mutex mu_;
+  std::atomic<int> pid_{1};
   int next_tid_ = 1;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
@@ -214,12 +306,7 @@ class Span {
   bool active() const { return active_; }
 
   MP_TRACE_OUTLINE void arg(std::string_view key, std::string_view value) {
-    if (!active_) return;
-    Arg a;
-    a.key.assign(key.data(), key.size());
-    a.kind = Arg::Kind::kString;
-    a.s.assign(value.data(), value.size());
-    event_.args.push_back(std::move(a));
+    if (active_) detail::add_arg(event_, key, value);
   }
   void arg(std::string_view key, const char* value) {
     arg(key, std::string_view(value));
@@ -228,28 +315,13 @@ class Span {
     arg(key, std::string_view(value));
   }
   MP_TRACE_OUTLINE void arg(std::string_view key, double value) {
-    if (!active_) return;
-    Arg a;
-    a.key.assign(key.data(), key.size());
-    a.kind = Arg::Kind::kDouble;
-    a.d = value;
-    event_.args.push_back(std::move(a));
+    if (active_) detail::add_arg(event_, key, value);
   }
   MP_TRACE_OUTLINE void arg(std::string_view key, long long value) {
-    if (!active_) return;
-    Arg a;
-    a.key.assign(key.data(), key.size());
-    a.kind = Arg::Kind::kInt;
-    a.i = value;
-    event_.args.push_back(std::move(a));
+    if (active_) detail::add_arg(event_, key, value);
   }
   MP_TRACE_OUTLINE void arg(std::string_view key, unsigned long long value) {
-    if (!active_) return;
-    Arg a;
-    a.key.assign(key.data(), key.size());
-    a.kind = Arg::Kind::kUint;
-    a.u = value;
-    event_.args.push_back(std::move(a));
+    if (active_) detail::add_arg(event_, key, value);
   }
   void arg(std::string_view key, int value) {
     arg(key, static_cast<long long>(value));
@@ -277,15 +349,9 @@ class Span {
     // Floor both endpoints against the origin and difference them: flooring
     // is monotonic, so a child span can never appear to outlive its parent
     // by a truncated microsecond.
-    event_.ts_us = to_us(start_ - t.origin());
-    event_.dur_us = to_us(end - t.origin()) - event_.ts_us;
+    event_.ts_us = detail::to_us(start_ - t.origin());
+    event_.dur_us = detail::to_us(end - t.origin()) - event_.ts_us;
     t.record(std::move(event_));
-  }
-
-  static std::uint64_t to_us(Tracer::Clock::duration d) {
-    const auto us =
-        std::chrono::duration_cast<std::chrono::microseconds>(d).count();
-    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
   }
 
   bool active_;
@@ -293,10 +359,106 @@ class Span {
   Event event_;
 };
 
+/// RAII instant mark: records a process-scoped `ph:"i"` event stamped at
+/// construction time; args may be attached before the scope closes. Used
+/// for supervisor lifecycle marks (worker start, heartbeat timeout,
+/// restart, …). Same disabled-cost contract as Span.
+class Instant {
+ public:
+  Instant(std::string_view name, std::string_view cat) : active_(enabled()) {
+    if (active_) begin(name, cat);
+  }
+
+  Instant(const Instant&) = delete;
+  Instant& operator=(const Instant&) = delete;
+
+  ~Instant() {
+    if (active_) Tracer::instance().record(std::move(event_));
+  }
+
+  bool active() const { return active_; }
+
+  MP_TRACE_OUTLINE void arg(std::string_view key, std::string_view value) {
+    if (active_) detail::add_arg(event_, key, value);
+  }
+  void arg(std::string_view key, const char* value) {
+    arg(key, std::string_view(value));
+  }
+  void arg(std::string_view key, const std::string& value) {
+    arg(key, std::string_view(value));
+  }
+  MP_TRACE_OUTLINE void arg(std::string_view key, double value) {
+    if (active_) detail::add_arg(event_, key, value);
+  }
+  MP_TRACE_OUTLINE void arg(std::string_view key, long long value) {
+    if (active_) detail::add_arg(event_, key, value);
+  }
+  MP_TRACE_OUTLINE void arg(std::string_view key, unsigned long long value) {
+    if (active_) detail::add_arg(event_, key, value);
+  }
+  void arg(std::string_view key, int value) {
+    arg(key, static_cast<long long>(value));
+  }
+  void arg(std::string_view key, unsigned value) {
+    arg(key, static_cast<unsigned long long>(value));
+  }
+  void arg(std::string_view key, unsigned long value) {
+    arg(key, static_cast<unsigned long long>(value));
+  }
+
+ private:
+  MP_TRACE_COLD void begin(std::string_view name, std::string_view cat) {
+    event_.name.assign(name.data(), name.size());
+    event_.cat.assign(cat.data(), cat.size());
+    event_.ph = 'i';
+    event_.ts_us =
+        detail::to_us(Tracer::Clock::now() - Tracer::instance().origin());
+  }
+
+  bool active_;
+  Event event_;
+};
+
 inline std::size_t num_events() { return Tracer::instance().num_events(); }
 inline void clear() { Tracer::instance().clear(); }
+inline int pid() { return Tracer::instance().pid(); }
+inline void set_pid(int pid) { Tracer::instance().set_pid(pid); }
+inline std::vector<ThreadEvents> snapshot_events() {
+  return Tracer::instance().snapshot_events();
+}
+/// Construct the tracer singleton now so that fork() children inherit this
+/// process's CLOCK_MONOTONIC origin — the shared timebase that makes worker
+/// timestamps directly comparable to the supervisor's in a merged trace.
+inline void ensure_origin() { (void)Tracer::instance().origin(); }
 inline void write_chrome_trace(std::ostream& os) {
   Tracer::instance().write_chrome_trace(os);
+}
+
+/// Render a set of per-process event lists (the local tracer's snapshot
+/// plus lanes shipped from remote workers) into one Chrome trace-event
+/// file: per-lane process_name/thread_name metadata, then every event under
+/// its owning pid/tid.
+MP_TRACE_COLD inline void write_merged_chrome_trace(
+    std::ostream& os, const std::vector<ProcessLane>& lanes) {
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const ProcessLane& p : lanes) {
+    Tracer::write_metadata(w, "process_name", p.pid, /*tid=*/0,
+                           p.name.empty() ? "minpower" : p.name);
+    for (const ThreadEvents& t : p.threads)
+      Tracer::write_metadata(w, "thread_name", p.pid, t.tid,
+                             "thread-" + std::to_string(t.tid));
+  }
+  for (const ProcessLane& p : lanes)
+    for (const ThreadEvents& t : p.threads)
+      for (const Event& e : t.events)
+        Tracer::write_event_json(w, e, p.pid, t.tid);
+  w.end_array();
+  w.end_object();
+  os << '\n';
 }
 
 }  // namespace minpower::trace

@@ -1,0 +1,251 @@
+#pragma once
+// Wire format for shipping observability data across processes
+// (DESIGN.md §15). Two payloads ride the shard pipe protocol as single-line
+// JSON, one per record:
+//
+//   TRACE <json>    — write_events_json / parse_events_json: a worker's
+//                     span+instant snapshot grouped per thread, timestamps
+//                     already in the shared CLOCK_MONOTONIC timebase.
+//   METRICS <json>  — metrics::write_metrics_json (the minpower.flow.v1
+//                     metrics block) / parse_metrics_json here.
+//
+// merge_snapshots() folds worker registries into one: counters sum (event
+// counts over disjoint circuit partitions are additive), gauges take the max
+// (high-water marks), histograms add bucket-wise. On a clean run the merged
+// result equals the registry a single process would have produced for the
+// same suite — the acceptance check test_shard_observability relies on.
+// Restarted circuits re-run work, so equality is only guaranteed without
+// fault injection.
+//
+// Numbers survive the round trip through the double-typed JSON parser
+// exactly up to 2^53; span args and metric values in practice stay far
+// below that, and ts/dur microsecond stamps overflow 2^53 only after ~285
+// years of uptime.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
+
+namespace minpower::trace {
+
+/// Emit a per-thread event snapshot as one compact JSON object:
+/// {"threads":[{"tid":N,"events":[{name,cat,ph,ts,dur,args}...]}...]}.
+/// No newlines — the result is safe as a single pipe-protocol line.
+MP_TRACE_COLD inline void write_events_json(
+    std::ostream& os, const std::vector<ThreadEvents>& threads) {
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.key("threads");
+  w.begin_array();
+  for (const ThreadEvents& t : threads) {
+    w.begin_object();
+    w.field("tid", t.tid);
+    w.key("events");
+    w.begin_array();
+    for (const Event& e : t.events) {
+      w.begin_object();
+      w.field("name", e.name);
+      w.field("cat", e.cat);
+      w.field("ph", e.ph == 'i' ? "i" : "X");
+      w.field("ts", static_cast<unsigned long long>(e.ts_us));
+      if (e.ph != 'i')
+        w.field("dur", static_cast<unsigned long long>(e.dur_us));
+      w.key("args");
+      w.begin_object();
+      for (const Arg& a : e.args) {
+        w.key(a.key);
+        switch (a.kind) {
+          case Arg::Kind::kString: w.value(a.s); break;
+          case Arg::Kind::kDouble: w.value(a.d); break;
+          case Arg::Kind::kInt: w.value(a.i); break;
+          case Arg::Kind::kUint: w.value(a.u); break;
+        }
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace wire_detail {
+
+inline std::uint64_t as_u64(const JsonValue& v) {
+  return v.number <= 0 ? 0 : static_cast<std::uint64_t>(v.number);
+}
+
+inline void parse_arg(Event& e, const std::string& key, const JsonValue& v) {
+  if (v.kind == JsonValue::Kind::kString) {
+    detail::add_arg(e, key, std::string_view(v.string));
+  } else if (v.kind == JsonValue::Kind::kNumber) {
+    const double d = v.number;
+    if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+      if (d < 0)
+        detail::add_arg(e, key, static_cast<long long>(d));
+      else
+        detail::add_arg(e, key, static_cast<unsigned long long>(d));
+    } else {
+      detail::add_arg(e, key, d);
+    }
+  }
+  // Other kinds (bool/null/array/object) never appear in span args; drop.
+}
+
+}  // namespace wire_detail
+
+/// Inverse of write_events_json. Returns std::nullopt and fills `error`
+/// (when non-null) on malformed input or a schema mismatch.
+MP_TRACE_COLD inline std::optional<std::vector<ThreadEvents>>
+parse_events_json(std::string_view text, std::string* error = nullptr) {
+  const std::optional<JsonValue> doc = parse_json(text, error);
+  if (!doc) return std::nullopt;
+  const JsonValue* threads = doc->find("threads");
+  if (!threads || threads->kind != JsonValue::Kind::kArray) {
+    if (error && error->empty()) *error = "missing 'threads' array";
+    return std::nullopt;
+  }
+  std::vector<ThreadEvents> out;
+  for (const JsonValue& tj : threads->items) {
+    if (tj.kind != JsonValue::Kind::kObject) continue;
+    ThreadEvents t;
+    if (const JsonValue* tid = tj.find("tid"))
+      t.tid = static_cast<int>(tid->number);
+    if (const JsonValue* events = tj.find("events");
+        events && events->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& ej : events->items) {
+        if (ej.kind != JsonValue::Kind::kObject) continue;
+        Event e;
+        if (const JsonValue* v = ej.find("name")) e.name = v->string;
+        if (const JsonValue* v = ej.find("cat")) e.cat = v->string;
+        if (const JsonValue* v = ej.find("ph"))
+          e.ph = v->string == "i" ? 'i' : 'X';
+        if (const JsonValue* v = ej.find("ts"))
+          e.ts_us = wire_detail::as_u64(*v);
+        if (const JsonValue* v = ej.find("dur"))
+          e.dur_us = wire_detail::as_u64(*v);
+        if (const JsonValue* args = ej.find("args");
+            args && args->kind == JsonValue::Kind::kObject)
+          for (const auto& [k, v] : args->members)
+            wire_detail::parse_arg(e, k, v);
+        t.events.push_back(std::move(e));
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+/// Parse a metrics block produced by metrics::write_metrics_json (either a
+/// standalone document or an already-located JSON object value).
+MP_TRACE_COLD inline std::optional<metrics::Snapshot> parse_metrics_value(
+    const JsonValue& doc, std::string* error = nullptr) {
+  if (doc.kind != JsonValue::Kind::kObject) {
+    if (error && error->empty()) *error = "metrics block is not an object";
+    return std::nullopt;
+  }
+  metrics::Snapshot s;
+  if (const JsonValue* arr = doc.find("counters");
+      arr && arr->kind == JsonValue::Kind::kArray)
+    for (const JsonValue& c : arr->items) {
+      const JsonValue* name = c.find("name");
+      const JsonValue* value = c.find("value");
+      if (name && value)
+        s.counters.emplace_back(name->string, wire_detail::as_u64(*value));
+    }
+  if (const JsonValue* arr = doc.find("gauges");
+      arr && arr->kind == JsonValue::Kind::kArray)
+    for (const JsonValue& g : arr->items) {
+      const JsonValue* name = g.find("name");
+      const JsonValue* value = g.find("value");
+      if (name && value)
+        s.gauges.emplace_back(name->string, wire_detail::as_u64(*value));
+    }
+  if (const JsonValue* arr = doc.find("histograms");
+      arr && arr->kind == JsonValue::Kind::kArray)
+    for (const JsonValue& h : arr->items) {
+      const JsonValue* name = h.find("name");
+      if (!name) continue;
+      metrics::Snapshot::Hist out;
+      out.name = name->string;
+      if (const JsonValue* v = h.find("count"))
+        out.count = wire_detail::as_u64(*v);
+      if (const JsonValue* v = h.find("sum")) out.sum = wire_detail::as_u64(*v);
+      if (const JsonValue* buckets = h.find("buckets");
+          buckets && buckets->kind == JsonValue::Kind::kArray)
+        for (const JsonValue& b : buckets->items) {
+          const JsonValue* lo = b.find("lo");
+          const JsonValue* n = b.find("count");
+          if (lo && n)
+            out.buckets.emplace_back(wire_detail::as_u64(*lo),
+                                     wire_detail::as_u64(*n));
+        }
+      s.histograms.push_back(std::move(out));
+    }
+  return s;
+}
+
+MP_TRACE_COLD inline std::optional<metrics::Snapshot> parse_metrics_json(
+    std::string_view text, std::string* error = nullptr) {
+  const std::optional<JsonValue> doc = parse_json(text, error);
+  if (!doc) return std::nullopt;
+  return parse_metrics_value(*doc, error);
+}
+
+/// Fold per-process snapshots into one, sorted by name: counters sum,
+/// gauges max, histogram counts/sums/buckets add. The result of merging N
+/// clean disjoint partitions equals a single process's registry for the
+/// same total workload (see header comment).
+MP_TRACE_COLD inline metrics::Snapshot merge_snapshots(
+    const std::vector<metrics::Snapshot>& parts) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  struct HistAcc {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::map<std::uint64_t, std::uint64_t> buckets;
+  };
+  std::map<std::string, HistAcc> hists;
+  for (const metrics::Snapshot& s : parts) {
+    for (const auto& [name, value] : s.counters) counters[name] += value;
+    for (const auto& [name, value] : s.gauges) {
+      auto& slot = gauges[name];
+      slot = std::max(slot, value);
+    }
+    for (const metrics::Snapshot::Hist& h : s.histograms) {
+      HistAcc& acc = hists[h.name];
+      acc.count += h.count;
+      acc.sum += h.sum;
+      for (const auto& [lo, n] : h.buckets) acc.buckets[lo] += n;
+    }
+  }
+  metrics::Snapshot out;
+  for (const auto& [name, value] : counters)
+    out.counters.emplace_back(name, value);
+  for (const auto& [name, value] : gauges) out.gauges.emplace_back(name, value);
+  for (const auto& [name, acc] : hists) {
+    metrics::Snapshot::Hist h;
+    h.name = name;
+    h.count = acc.count;
+    h.sum = acc.sum;
+    for (const auto& [lo, n] : acc.buckets) h.buckets.emplace_back(lo, n);
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+}  // namespace minpower::trace

@@ -10,10 +10,16 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "helpers.hpp"
 #include "io/blif.hpp"
@@ -208,8 +214,9 @@ TEST(Serve, TruncatedPayloadAndMidResponseDisconnectKeepServerUp) {
     ::shutdown(fd, SHUT_WR);
     serve::LineReader reader(fd);
     std::string line;
-    if (reader.read_line(&line, 4096) == serve::LineReader::Status::kOk)
+    if (reader.read_line(&line, 4096) == serve::LineReader::Status::kOk) {
       EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+    }
     serve::close_fd(fd);
   }
 
@@ -349,6 +356,141 @@ TEST(Serve, ResponseTimeoutUnsticksClient) {
   EXPECT_FALSE(c.ping(&error));  // would block forever without the timeout
   EXPECT_NE(error.find("timed out"), std::string::npos) << error;
   serve::close_fd(listener);
+}
+
+TEST(Serve, MetricsVerbAnswersPrometheusExposition) {
+  ServeFixture fx;
+  serve::Client c = fx.connect();
+  std::string error;
+  serve::Response r;
+  ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+  ASSERT_TRUE(r.ok) << r.body;
+
+  const int fd = serve::tcp_connect("127.0.0.1", fx.server.port(), nullptr);
+  ASSERT_GE(fd, 0);
+  serve::LineReader reader(fd);
+  ASSERT_TRUE(serve::send_all(fd, "METRICS\n"));
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, 4096), serve::LineReader::Status::kOk);
+  ASSERT_EQ(line.rfind("OK ", 0), 0u) << line;
+  std::string body;
+  reader.read_exact(&body, std::strtoull(line.c_str() + 3, nullptr, 10));
+  serve::close_fd(fd);
+
+  // Service counters show up mangled into the Prometheus charset, with the
+  // counter `_total` suffix.
+  EXPECT_NE(body.find("serve_requests_total"), std::string::npos) << body;
+  EXPECT_NE(body.find("serve_flow_ok_total"), std::string::npos);
+  EXPECT_EQ(body.find("serve.requests"), std::string::npos)
+      << "raw dotted name leaked into the exposition";
+
+  // Every sample line's metric name obeys [a-zA-Z_:][a-zA-Z0-9_:]* and
+  // every histogram's cumulative buckets are monotone, capped by +Inf.
+  std::istringstream lines(body);
+  std::string row;
+  std::string series;
+  long long prev = -1;
+  while (std::getline(lines, row)) {
+    if (row.empty()) continue;
+    if (row.rfind("# TYPE ", 0) == 0) continue;
+    const std::size_t name_end = row.find_first_of(" {");
+    ASSERT_NE(name_end, std::string::npos) << row;
+    const std::string name = row.substr(0, name_end);
+    ASSERT_FALSE(name.empty()) << row;
+    EXPECT_FALSE(name[0] >= '0' && name[0] <= '9') << row;
+    for (const char ch : name) {
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+      EXPECT_TRUE(ok) << row;
+    }
+    const std::size_t bucket = row.find("_bucket{le=");
+    if (bucket == std::string::npos) continue;
+    const std::string hist = row.substr(0, bucket);
+    if (hist != series) {
+      series = hist;
+      prev = -1;
+    }
+    const long long v = std::stoll(row.substr(row.rfind(' ') + 1));
+    EXPECT_GE(v, prev) << row;
+    prev = v;
+    if (row.find("le=\"+Inf\"") != std::string::npos) {
+      // The +Inf bound equals the histogram's _count line.
+      const std::size_t count_at = body.find(hist + "_count ");
+      ASSERT_NE(count_at, std::string::npos) << hist;
+      const long long count = std::stoll(
+          body.substr(count_at + hist.size() + std::strlen("_count ")));
+      EXPECT_EQ(v, count) << hist;
+    }
+  }
+}
+
+TEST(Serve, AccessLogRecordsOneJsonLinePerRequest) {
+  const std::string log_path = ::testing::TempDir() + "serve_access.jsonl";
+  std::remove(log_path.c_str());
+
+  serve::ServerOptions so;
+  so.access_log = log_path;
+  {
+    ServeFixture fx(so);
+    serve::Client c = fx.connect();
+    std::string error;
+    EXPECT_TRUE(c.ping(&error)) << error;
+    serve::Response r;
+    ASSERT_TRUE(c.flow(small_blif(), {}, &r, &error)) << error;
+    ASSERT_TRUE(r.ok) << r.body;
+
+    const int fd = serve::tcp_connect("127.0.0.1", fx.server.port(), nullptr);
+    ASSERT_GE(fd, 0);
+    serve::LineReader reader(fd);
+    ASSERT_TRUE(serve::send_all(fd, "METRICS\n"));
+    std::string line;
+    ASSERT_EQ(reader.read_line(&line, 4096), serve::LineReader::Status::kOk);
+    EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+    std::string body;
+    reader.read_exact(&body, std::strtoull(line.c_str() + 3, nullptr, 10));
+    serve::close_fd(fd);
+  }  // stop() joins the workers; every answered request is on disk
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good()) << log_path;
+  std::vector<std::string> verbs;
+  std::set<std::uint64_t> ids;
+  std::string line;
+  bool saw_flow = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    std::string parse_error;
+    const auto doc = parse_json(line, &parse_error);
+    ASSERT_TRUE(doc.has_value()) << parse_error << ": " << line;
+    // Full schema on every line, even for body-less verbs.
+    for (const char* key : {"id", "peer", "verb", "bytes_in", "bytes_out",
+                            "outcome", "wall_us", "hits", "misses"}) {
+      ASSERT_NE(doc->find(key), nullptr) << key << " missing in " << line;
+    }
+    const auto id = static_cast<std::uint64_t>(doc->find("id")->number);
+    // Lines land in completion order (a fast request on another connection
+    // can finish before a slow one that started earlier), but the shared
+    // request counter makes every id unique.
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate request id: " << line;
+    EXPECT_NE(doc->find("peer")->string.find("127.0.0.1:"), std::string::npos);
+    verbs.push_back(doc->find("verb")->string);
+    if (doc->find("verb")->string == "FLOW") {
+      saw_flow = true;
+      EXPECT_EQ(doc->find("outcome")->string, "ok") << line;
+      EXPECT_GT(doc->find("bytes_in")->number, 0.0);
+      EXPECT_GT(doc->find("bytes_out")->number, 0.0);
+      EXPECT_EQ(doc->find("misses")->number, 9.0) << line;
+    }
+  }
+  EXPECT_TRUE(saw_flow);
+  // The counter starts at 1 and every answered request is on disk, so the
+  // ids are exactly the contiguous range [1, N].
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), ids.size());
+  EXPECT_NE(std::find(verbs.begin(), verbs.end(), "PING"), verbs.end());
+  EXPECT_NE(std::find(verbs.begin(), verbs.end(), "METRICS"), verbs.end());
+  std::remove(log_path.c_str());
 }
 
 TEST(Serve, ShutdownRequestEndsWait) {

@@ -1,0 +1,243 @@
+// Observability tests for real forked sharded runs (DESIGN.md §15, ctest
+// label: chaos): a traced `--shards N` run must merge into one Chrome-trace
+// document with a pid lane per worker, lifecycle instants on the supervisor
+// lane, per-worker critical paths in the profile, and a metrics sidecar
+// whose merged counters equal a single-process registry over the same
+// suite. Worker aborts must show up as worker-crash/worker-restart instants
+// without losing any lane.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "flow/session.hpp"
+#include "shard/supervisor.hpp"
+#include "trace/analysis.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "trace/wire.hpp"
+#include "util/json_reader.hpp"
+
+namespace minpower {
+namespace {
+
+std::vector<Network> suite_prefix(std::size_t max_circuits) {
+  std::vector<Network> nets;
+  for (const BenchProfile& p : paper_suite()) {
+    if (nets.size() >= max_circuits) break;
+    Network net = generate_benchmark(p);
+    prepare_network(net);
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+std::vector<const Network*> pointers(const std::vector<Network>& nets) {
+  std::vector<const Network*> circuits;
+  for (const Network& n : nets) circuits.push_back(&n);
+  return circuits;
+}
+
+shard::ShardRun run_or_die(const std::vector<const Network*>& circuits,
+                           const shard::ShardOptions& options) {
+  shard::ShardRun run;
+  std::string error;
+  EXPECT_TRUE(shard::run_sharded_suite(circuits, standard_library(),
+                                       FlowOptions{}, options, &run, &error))
+      << error;
+  return run;
+}
+
+/// Scoped tracing: start from an empty buffer, always disable and drop the
+/// recorded events on exit so tests never leak spans into each other.
+struct TraceGuard {
+  TraceGuard() {
+    trace::clear();
+    trace::set_enabled(true);
+    trace::ensure_origin();
+  }
+  ~TraceGuard() {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+};
+
+/// Run the sharded suite traced and return the analyzed merged trace.
+trace::TraceProfile traced_profile(
+    const std::vector<const Network*>& circuits,
+    const shard::ShardOptions& options, shard::ShardRun* run_out) {
+  TraceGuard guard;
+  *run_out = run_or_die(circuits, options);
+  std::ostringstream os;
+  shard::write_shard_trace(os, *run_out);
+  trace::TraceProfile p;
+  std::string error;
+  EXPECT_TRUE(trace::analyze_chrome_trace(os.str(), &p, &error)) << error;
+  return p;
+}
+
+std::size_t count_instants(const trace::TraceProfile& p,
+                           const std::string& name) {
+  std::size_t n = 0;
+  for (const trace::InstantRecord& ir : p.lifecycle)
+    if (ir.name == name) ++n;
+  return n;
+}
+
+TEST(ShardObservability, CleanTracedRunMergesPerWorkerLanes) {
+  const std::vector<Network> nets = suite_prefix(3);
+  const auto circuits = pointers(nets);
+
+  shard::ShardOptions so;
+  so.shards = 3;
+  shard::ShardRun run;
+  const trace::TraceProfile p = traced_profile(circuits, so, &run);
+  EXPECT_EQ(run.stats.worker_crashes, 0u);
+  ASSERT_EQ(run.worker_lanes.size(), 3u);
+
+  // One pid lane per worker plus the supervisor's own.
+  ASSERT_EQ(p.processes.size(), 4u);
+  const int sup_pid = static_cast<int>(::getpid());
+  std::set<int> pids;
+  std::size_t workers_with_path = 0;
+  for (const trace::ProcessTotals& pr : p.processes) {
+    EXPECT_TRUE(pids.insert(pr.pid).second) << "duplicate pid lane";
+    if (pr.pid == sup_pid) {
+      EXPECT_NE(pr.name.find("supervisor"), std::string::npos) << pr.name;
+    } else {
+      EXPECT_NE(pr.name.find("worker-"), std::string::npos) << pr.name;
+      EXPECT_GT(pr.busy_us, 0u);
+      // Every worker ran its own engine, so it owns a critical path.
+      if (pr.critical.available && pr.critical.barrier_us > 0)
+        ++workers_with_path;
+    }
+  }
+  EXPECT_TRUE(pids.count(sup_pid));
+  EXPECT_EQ(workers_with_path, 3u);
+  // The trace-level path is one of the per-process ones (the dominant).
+  ASSERT_TRUE(p.critical.available);
+
+  // Forest invariants per lane: nested children fit inside their parent and
+  // never drive self time past total time.
+  for (const trace::SpanRecord& s : p.spans) {
+    EXPECT_LE(s.self_us, s.dur_us);
+    if (s.parent >= 0) {
+      const trace::SpanRecord& parent =
+          p.spans[static_cast<std::size_t>(s.parent)];
+      EXPECT_EQ(parent.pid, s.pid);
+      EXPECT_GE(s.ts_us, parent.ts_us);
+      EXPECT_LE(s.ts_us + s.dur_us, parent.ts_us + parent.dur_us);
+    }
+  }
+  for (const trace::ThreadTotals& t : p.threads)
+    EXPECT_LE(t.self_us, t.busy_us);
+
+  // Lifecycle: one worker-start per spawn, each naming a traced pid lane.
+  EXPECT_EQ(count_instants(p, "worker-start"), 3u);
+  for (const trace::InstantRecord& ir : p.lifecycle) {
+    EXPECT_EQ(ir.pid, sup_pid);  // instants live on the supervisor lane
+    if (ir.name != "worker-start") continue;
+    const double* pid = ir.find_num("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_TRUE(pids.count(static_cast<int>(*pid))) << *pid;
+  }
+
+  // Supervisor-blocking breakdown comes from the supervise span.
+  ASSERT_TRUE(p.supervisor.available);
+  EXPECT_GE(p.supervisor.polls, 1u);
+  EXPECT_LE(p.supervisor.poll_wait_us, p.supervisor.supervise_us);
+
+  // The metrics sidecar is valid JSON with a parseable merged block.
+  std::ostringstream mos;
+  shard::write_shard_metrics_json(mos, run, so.shards);
+  std::string error;
+  const auto doc = parse_json(mos.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* reporting = doc->find("workers_reporting");
+  ASSERT_NE(reporting, nullptr);
+  EXPECT_EQ(static_cast<int>(reporting->number), 3);
+  const JsonValue* metrics_block = doc->find("metrics");
+  ASSERT_NE(metrics_block, nullptr);
+  const auto merged = trace::parse_metrics_value(*metrics_block, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_FALSE(merged->counters.empty());
+}
+
+TEST(ShardObservability, WorkerAbortEmitsLifecycleInstantsAndKeepsLanes) {
+  const std::vector<Network> nets = suite_prefix(3);
+  const auto circuits = pointers(nets);
+
+  shard::ShardOptions so;
+  so.shards = 2;
+  so.injections = {{"worker-abort", 1}};
+  so.backoff_ms = 10;
+  shard::ShardRun run;
+  const trace::TraceProfile p = traced_profile(circuits, so, &run);
+
+  EXPECT_GE(run.stats.worker_crashes, 1u);
+  EXPECT_GE(run.stats.worker_restarts, 1u);
+  EXPECT_EQ(run.stats.cells_failed, 0u);
+
+  // The crashed incarnation dies before shipping its spans, but its
+  // replacement ships under a fresh pid — so the merged trace still holds
+  // at least `shards` worker lanes next to the supervisor's.
+  EXPECT_GE(p.processes.size(), so.shards + 1u);
+
+  // The crash and the restart are both visible as instants, and the
+  // restart's worker announces itself with one more worker-start.
+  EXPECT_GE(count_instants(p, "worker-crash"), 1u);
+  EXPECT_GE(count_instants(p, "worker-restart"), 1u);
+  EXPECT_GE(count_instants(p, "worker-start"), so.shards + 1u);
+
+  // Crash instants carry the blamed circuit for postmortems.
+  for (const trace::InstantRecord& ir : p.lifecycle) {
+    if (ir.name != "worker-crash") continue;
+    EXPECT_NE(ir.find_str("death"), nullptr);
+    EXPECT_NE(ir.find_str("circuit"), nullptr);
+  }
+}
+
+TEST(ShardObservability, MergedMetricsEqualSingleProcessRegistry) {
+  const std::vector<Network> nets = suite_prefix(3);
+  const auto circuits = pointers(nets);
+
+  // Sharded pass first: reset, run, fold worker registries + the
+  // supervisor's own (prep ran pre-fork) through the sidecar document.
+  metrics::Registry::global().reset();
+  shard::ShardOptions so;
+  so.shards = 3;
+  so.worker_threads = 1;
+  const shard::ShardRun run = run_or_die(circuits, so);
+  EXPECT_EQ(run.stats.worker_crashes, 0u);
+  ASSERT_EQ(run.worker_metrics.size(), 3u);
+  std::ostringstream mos;
+  shard::write_shard_metrics_json(mos, run, so.shards);
+
+  std::string error;
+  const auto doc = parse_json(mos.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* metrics_block = doc->find("metrics");
+  ASSERT_NE(metrics_block, nullptr);
+  const auto merged = trace::parse_metrics_value(*metrics_block, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+
+  // Single-process baseline: same circuits, one at a time through a private
+  // session — exactly the path a shard worker runs.
+  metrics::Registry::global().reset();
+  FlowSession session(standard_library());
+  for (const Network* net : circuits) session.run_circuit(*net);
+  const metrics::Snapshot single = metrics::Registry::global().snapshot();
+
+  // Counters are event counts over disjoint circuit partitions: their
+  // merged sum must equal the single-process registry exactly.
+  EXPECT_EQ(merged->counters, single.counters);
+}
+
+}  // namespace
+}  // namespace minpower

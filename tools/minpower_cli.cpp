@@ -11,7 +11,7 @@
 //                                                  full flow + mapping report
 //   minpower flow   <in.blif>... [--genlib lib.genlib] [--threads N]
 //                   [--json out.json] [--deadline-ms T] [--bdd-limit N]
-//                   [--trace out.trace.json] [--verbose]
+//                   [--trace out.trace.json] [--metrics-out F] [--verbose]
 //                   [--shards N] [--journal F] [--resume F]
 //                   [--shard-retries N] [--backoff-ms T]
 //                   [--heartbeat-ms T] [--heartbeat-timeout-ms T]
@@ -23,7 +23,13 @@
 //                                                  §14); --journal logs each
 //                                                  completed cell, --resume
 //                                                  skips cells already in a
-//                                                  journal
+//                                                  journal. With --shards,
+//                                                  --trace merges one pid lane
+//                                                  per worker plus supervisor
+//                                                  lifecycle instants, and
+//                                                  --metrics-out writes the
+//                                                  folded worker registries
+//                                                  (DESIGN.md §15)
 //   minpower verify [--seed N] [--count N] [--json out.json]
 //                                                  differential verification
 //                                                  harness (seeded oracles)
@@ -44,6 +50,7 @@
 //   minpower serve  [--port N] [--host H] [--workers N] [--deadline-ms T]
 //                   [--bdd-limit N] [--idle-timeout-ms T]
 //                   [--genlib lib.genlib] [--verbose]
+//                   [--access-log log.jsonl]
 //                                                  persistent synthesis
 //                                                  service with cross-request
 //                                                  caching (port 0 =
@@ -52,7 +59,11 @@
 //                                                  SIGTERM/SIGINT drain
 //                                                  gracefully: in-flight
 //                                                  requests finish, stats are
-//                                                  flushed to stderr
+//                                                  flushed to stderr.
+//                                                  --access-log appends one
+//                                                  JSONL object per request;
+//                                                  the METRICS verb answers
+//                                                  Prometheus exposition
 //   minpower client --port N [--host H] <in.blif>... [--json out.json]
 //                   [--deadline-ms T] [--bdd-limit N] [--stats] [--shutdown]
 //                   [--retries N] [--retry-ms T] [--timeout-ms T]
@@ -104,6 +115,7 @@
 #include "sop/factor.hpp"
 #include "util/budget.hpp"
 #include "trace/analysis.hpp"
+#include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/json_reader.hpp"
 #include "util/json_writer.hpp"
@@ -134,6 +146,8 @@ struct Args {
   double deadline_ms = 0.0;
   std::size_t bdd_limit = 0;  // 0 → library default
   std::optional<std::string> trace;
+  std::optional<std::string> metrics_out;  // flow: metrics sidecar file
+  std::optional<std::string> access_log;   // serve: JSONL access log
   bool verbose = false;
   int top = 10;               // profile hotspot rows
   double qor_rel_tol = 0.0;   // compare: exact QoR lock by default
@@ -188,6 +202,8 @@ Args parse_args(int argc, char** argv, int first) {
     else if (arg == "--bdd-limit")
       a.bdd_limit = std::stoull(value("--bdd-limit"));
     else if (arg == "--trace") a.trace = value("--trace");
+    else if (arg == "--metrics-out") a.metrics_out = value("--metrics-out");
+    else if (arg == "--access-log") a.access_log = value("--access-log");
     else if (arg == "--verbose") a.verbose = true;
     else if (arg == "--top") a.top = std::stoi(value("--top"));
     else if (arg == "--qor-rel-tol")
@@ -428,10 +444,9 @@ TaskTally print_flow_table(
 int cmd_flow_sharded(const Args& a,
                      const std::vector<const Network*>& circuits,
                      const Library& lib) {
-  if (a.trace)
-    std::fprintf(stderr,
-                 "flow: --trace is ignored with --shards (workers are "
-                 "separate processes)\n");
+  // Enable tracing before the supervisor forks: workers inherit the flag
+  // (and the tracer origin) and ship their spans back over the pipe.
+  if (a.trace) trace::set_enabled(true);
   shard::ShardOptions so;
   so.shards = a.shards > 0 ? a.shards : 2;
   so.worker_threads = a.threads;
@@ -469,6 +484,22 @@ int cmd_flow_sharded(const Args& a,
     std::ofstream out(*a.json);
     if (!out.good()) fatal("cannot open JSON output file " + *a.json);
     shard::write_sharded_flow_json(out, run, so.shards, lib.name());
+  }
+  if (a.trace) {
+    trace::set_enabled(false);
+    std::ofstream tos(*a.trace);
+    if (!tos.good()) fatal("cannot open trace output file " + *a.trace);
+    shard::write_shard_trace(tos, run);
+    std::fprintf(stderr,
+                 "trace: supervisor + %zu worker lane(s) -> %s (open in "
+                 "chrome://tracing or ui.perfetto.dev)\n",
+                 run.worker_lanes.size(), a.trace->c_str());
+  }
+  if (a.metrics_out) {
+    std::ofstream mos(*a.metrics_out);
+    if (!mos.good())
+      fatal("cannot open metrics output file " + *a.metrics_out);
+    shard::write_shard_metrics_json(mos, run, so.shards);
   }
   return t.degraded + t.failed > 0 ? 2 : 0;
 }
@@ -531,6 +562,20 @@ int cmd_flow(const Args& a) {
     if (!out.good()) fatal("cannot open JSON output file " + *a.json);
     write_flow_json(out, per_circuit, engine.counters(),
                     engine.effective_threads(), elapsed_ms, lib.name());
+  }
+  if (a.metrics_out) {
+    // Standalone registry snapshot, schema-compatible with the sharded
+    // sidecar's `metrics` block (minus the shard lifecycle stats).
+    std::ofstream mos(*a.metrics_out);
+    if (!mos.good())
+      fatal("cannot open metrics output file " + *a.metrics_out);
+    JsonWriter w(mos, /*pretty=*/false);
+    w.begin_object();
+    w.field("schema", "minpower.metrics.v1");
+    w.key("metrics");
+    metrics::write_metrics_json(w, metrics::Registry::global().snapshot());
+    w.end_object();
+    mos << '\n';
   }
   return t.degraded + t.failed > 0 ? 2 : 0;
 }
@@ -657,6 +702,7 @@ int cmd_serve(const Args& a) {
   if (a.bdd_limit != 0) o.flow.bdd_node_limit = a.bdd_limit;
   o.idle_timeout_ms = a.idle_timeout_ms;
   o.verbose = a.verbose;
+  if (a.access_log) o.access_log = *a.access_log;
   serve::Server server(lib, o);
   std::string error;
   if (!server.start(&error)) fatal(error);
