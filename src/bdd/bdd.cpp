@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <string_view>
 
 #include "trace/metrics.hpp"
 
@@ -38,6 +39,51 @@ BddManager::BddManager(std::size_t node_limit) : node_limit_(node_limit) {
   cache_mask_ = kCacheInitEntries - 1;
 }
 
+namespace {
+
+/// Phase kind of a budget label ("<circuit>/decomp[0]" → "decomp"). Labels
+/// come from the flow engine (session.cpp); anything unlabelled or foreign
+/// (tests, verify oracles) lands in "other".
+const char* phase_of_label(const std::string& label) {
+  const std::size_t slash = label.rfind('/');
+  const std::string_view tail =
+      slash == std::string::npos
+          ? std::string_view(label)
+          : std::string_view(label).substr(slash + 1);
+  if (tail.rfind("decomp[", 0) == 0) return "decomp";
+  if (tail.rfind("activity[", 0) == 0) return "activity";
+  if (tail.rfind("map[", 0) == 0) return "map";
+  return "other";
+}
+
+}  // namespace
+
+std::size_t BddManager::node_bytes() const {
+  return nodes_.capacity() * sizeof(BddNode);
+}
+
+std::size_t BddManager::unique_table_bytes() const {
+  return unique_slots_.capacity() * sizeof(BddRef);
+}
+
+std::size_t BddManager::cache_bytes() const {
+  return cache_.capacity() * sizeof(CacheEntry);
+}
+
+std::size_t BddManager::scratch_bytes() const {
+  return not_memo_.capacity() * sizeof(BddRef) +
+         stamp_.capacity() * sizeof(std::uint32_t) +
+         prob_memo_.capacity() * sizeof(double) +
+         ref_memo_.capacity() * sizeof(BddRef) +
+         scratch_stack_.capacity() * sizeof(BddRef) +
+         var_nodes_.capacity() * sizeof(BddRef);
+}
+
+std::size_t BddManager::arena_bytes() const {
+  return node_bytes() + unique_table_bytes() + cache_bytes() +
+         scratch_bytes();
+}
+
 BddManager::~BddManager() {
   static metrics::Counter& lookups = metrics::counter("bdd.unique_lookups");
   static metrics::Counter& ites = metrics::counter("bdd.ite_calls");
@@ -47,6 +93,21 @@ BddManager::~BddManager() {
   static metrics::Gauge& peak = metrics::gauge("bdd.unique_table_peak");
   static metrics::Histogram& final_nodes =
       metrics::histogram("bdd.final_nodes");
+  // Byte-accounted arena gauges (DESIGN.md §16). All values derive from
+  // vector *capacities*, which are a pure function of the deterministic
+  // operation sequence this manager executed — never from the allocator or
+  // the OS — so the gauges stay byte-identical across thread counts and
+  // across the sharded/in-process split. RSS never enters the registry.
+  static metrics::Gauge& live_bytes = metrics::gauge("bdd.mem.live_node_bytes");
+  static metrics::Gauge& node_peak = metrics::gauge("bdd.mem.node_bytes_peak");
+  static metrics::Gauge& unique_peak =
+      metrics::gauge("bdd.mem.unique_bytes_peak");
+  static metrics::Gauge& cache_peak =
+      metrics::gauge("bdd.mem.cache_bytes_peak");
+  static metrics::Gauge& scratch_peak =
+      metrics::gauge("bdd.mem.scratch_bytes_peak");
+  static metrics::Gauge& arena_peak =
+      metrics::gauge("bdd.mem.arena_bytes_peak");
   lookups.add(unique_lookups_);
   ites.add(ite_calls_);
   hits.add(ite_cache_hits_);
@@ -54,6 +115,20 @@ BddManager::~BddManager() {
   not_hits.add(not_cache_hits_);
   peak.record_max(nodes_.size());
   final_nodes.record(nodes_.size());
+  live_bytes.record_max(nodes_.size() * sizeof(BddNode));
+  node_peak.record_max(node_bytes());
+  unique_peak.record_max(unique_table_bytes());
+  cache_peak.record_max(cache_bytes());
+  scratch_peak.record_max(scratch_bytes());
+  arena_peak.record_max(arena_bytes());
+  // Per-phase high-water mark, attributed through the owning Budget label
+  // ("<circuit>/decomp[g]" → phase "decomp"). Phase names are a small fixed
+  // set, so the handle lookup stays off every hot path (dtor only).
+  const Budget* b = Budget::current();
+  const char* phase =
+      b != nullptr ? phase_of_label(b->label) : phase_of_label(std::string());
+  metrics::gauge(std::string("bdd.mem.phase_peak_bytes.") + phase)
+      .record_max(arena_bytes());
 }
 
 BddRef BddManager::var(int index) {

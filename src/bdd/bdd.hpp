@@ -53,10 +53,16 @@ class BddManager {
   /// Flushes this manager's operation counts into the global metrics
   /// registry (bdd.unique_lookups, bdd.ite_calls, bdd.ite_cache_hits,
   /// bdd.not_calls, bdd.not_cache_hits, the bdd.unique_table_peak gauge,
-  /// and the bdd.final_nodes histogram). The hot loops accumulate in plain
-  /// members so per-operation instrumentation cost is zero; the one-time
-  /// flush also runs on exception unwind, so a blown node budget still
-  /// reports its work.
+  /// and the bdd.final_nodes histogram), plus the byte-accounted arena
+  /// gauges (bdd.mem.live_node_bytes, bdd.mem.{node,unique,cache,scratch,
+  /// arena}_bytes_peak and the per-phase bdd.mem.phase_peak_bytes.<phase>
+  /// high-water marks, attributed through the owning Budget label). Byte
+  /// gauges derive from vector capacities — a pure function of the
+  /// deterministic operation sequence — so they are byte-identical across
+  /// thread counts; OS-level RSS never enters the registry. The hot loops
+  /// accumulate in plain members so per-operation instrumentation cost is
+  /// zero; the one-time flush also runs on exception unwind, so a blown
+  /// node budget still reports its work.
   ~BddManager();
 
   BddManager(const BddManager&) = delete;
@@ -111,6 +117,15 @@ class BddManager {
   std::size_t dag_size(BddRef f) const;
 
   std::size_t num_nodes() const { return nodes_.size(); }
+
+  // Byte accounting for the arena gauges (capacities, not sizes: the
+  // allocated footprint is what memory pressure sees). Deterministic for a
+  // given operation sequence.
+  std::size_t node_bytes() const;          // dense node array
+  std::size_t unique_table_bytes() const;  // open-addressed slot array
+  std::size_t cache_bytes() const;         // computed table + tags
+  std::size_t scratch_bytes() const;       // traversal memos/stacks/stamps
+  std::size_t arena_bytes() const;         // sum of the above
 
   /// Drop the operation caches (unique table is kept; refs stay valid).
   void clear_op_cache();

@@ -1,6 +1,7 @@
 #include "benchgen/benchgen.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/rng.hpp"
 
@@ -94,7 +95,227 @@ Cover random_cover(Rng& rng, int k, int max_cubes) {
   return random_sop(rng, k, max_cubes);
 }
 
+/// Parity of k variables (k ≤ kMaxCubeVars, SOP of 2^(k-1) minterm cubes).
+/// Always full-support and exactly balanced — the fallback node function
+/// for scale families, where a dropped fanin would sweep a whole subtree.
+Cover parity_cover(int k, bool odd) {
+  Cover c;
+  for (int m = 0; m < (1 << k); ++m) {
+    if ((__builtin_popcount(static_cast<unsigned>(m)) & 1) != (odd ? 1 : 0))
+      continue;
+    std::uint64_t pos = 0;
+    std::uint64_t neg = 0;
+    for (int v = 0; v < k; ++v) {
+      if ((m >> v) & 1) pos |= std::uint64_t{1} << v;
+      else neg |= std::uint64_t{1} << v;
+    }
+    c.add(Cube{pos, neg});
+  }
+  c.normalize();
+  return c;
+}
+
+/// Like random_cover but guaranteed to read all k fanins: scale-family
+/// structures (reduction trees, mesh layers) rely on every chosen edge
+/// existing, otherwise sweep() cascades through orphaned subtrees and the
+/// generated size drifts far from target_gates.
+Cover random_full_cover(Rng& rng, int k, int max_cubes) {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    Cover c = random_cover(rng, k, max_cubes);
+    if (c.support() == (std::uint64_t{1} << k) - 1) return c;
+  }
+  return parity_cover(k, rng.coin());
+}
+
+std::string scale_name(const ScaleProfile& p) {
+  return p.family + "-" + std::to_string(p.target_gates);
+}
+
+/// A random 2-input op over (fanin 0, fanin 1) with random literal phases:
+/// XOR/XNOR half the time, AND- and OR-shaped covers otherwise. Always
+/// reads both fanins. Used only OFF the carry chain (tap nodes): the
+/// nonlinearity must not compound stage over stage — see generate_chain.
+Cover tap_cover(Rng& rng) {
+  const int pick = static_cast<int>(rng.below(4));
+  if (pick < 2) return parity_cover(2, rng.coin());
+  const bool pa = rng.coin();
+  const bool pb = rng.coin();
+  if (pick == 2) {
+    Cover c{{lit_cube(0, pa) & lit_cube(1, pb)}};  // AND of two literals
+    c.normalize();
+    return c;
+  }
+  Cover c{{lit_cube(0, pa), lit_cube(1, pb)}};  // OR of two literals
+  c.normalize();
+  return c;
+}
+
+/// Deep arithmetic chain: a running parity folds in ONE fresh operand PI
+/// per stage through XOR/XNOR, with a randomly-shaped (XOR/AND/OR) tapped
+/// output on a sampled subset of stages. Depth grows linearly with size.
+/// The all-linear chain is the load-bearing choice: a parity of any subset
+/// has OBDD width 2 under *every* variable order, so downstream passes that
+/// re-derive a variable order from a restructured network — the activity
+/// pass runs on the NAND-decomposed net, whose DFS order scrambles the
+/// stage structure — still see linear BDDs, and cost growth along the
+/// sweep measures genuine scale, not order luck. Nonlinear ops live only
+/// in the taps, one step off the chain, where they cannot compound.
+/// (Both a 2-operand ripple-carry ladder and a mixed XOR/AND/OR staircase
+/// fail exactly there: under a scrambled order their cut state grows with
+/// the number of split pairs / non-linear stages.)
+Network generate_chain(const ScaleProfile& p, Rng& rng) {
+  Network net(scale_name(p));
+  const std::size_t target = std::max<std::size_t>(p.target_gates, 8);
+  const std::size_t num_sums =
+      std::min<std::size_t>(63, std::max<std::size_t>(1, target / 16));
+  const std::size_t stages = std::max<std::size_t>(4, target - num_sums);
+  const std::size_t tap_step = std::max<std::size_t>(1, stages / num_sums);
+
+  NodeId carry = net.add_pi("c0");
+  std::size_t pos = 0;
+  std::size_t sums = 0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const NodeId a = net.add_pi("a" + std::to_string(s));
+    const NodeId next = net.add_node({a, carry}, parity_cover(2, rng.coin()),
+                                     "carry" + std::to_string(s));
+    if (sums < num_sums && (s + 1) % tap_step == 0) {
+      const NodeId t = net.add_pi("t" + std::to_string(s));
+      const NodeId sum = net.add_node({t, carry}, tap_cover(rng),
+                                      "sum" + std::to_string(s));
+      net.add_po("po" + std::to_string(pos++), sum);
+      ++sums;
+    }
+    carry = next;
+  }
+  net.add_po("po" + std::to_string(pos), carry);
+  net.sweep();
+  net.check();
+  return net;
+}
+
+/// Wide control cones: independent shallow reduction trees, each folding a
+/// contiguous window of a large PI space down to one output through
+/// full-support template nodes of fanin 2–4. Trees are appended until the
+/// internal node count reaches target_gates, so the overshoot is bounded by
+/// one tree (≈ target/8).
+Network generate_cone(const ScaleProfile& p, Rng& rng) {
+  Network net(scale_name(p));
+  const std::size_t target = std::max<std::size_t>(p.target_gates, 8);
+  const std::size_t num_pi = std::clamp<std::size_t>(
+      static_cast<std::size_t>(4.0 * std::sqrt(static_cast<double>(target))),
+      16, 16384);
+  const std::size_t leaves_per_tree =
+      std::min(num_pi, std::max<std::size_t>(12, (3 * target) / 8));
+
+  std::vector<NodeId> pis;
+  for (std::size_t i = 0; i < num_pi; ++i)
+    pis.push_back(net.add_pi("pi" + std::to_string(i)));
+
+  std::size_t internal = 0;
+  std::size_t node_id = 0;
+  std::size_t po_id = 0;
+  while (internal < target) {
+    const std::size_t start =
+        leaves_per_tree < num_pi ? rng.below(num_pi - leaves_per_tree + 1)
+                                 : 0;
+    std::vector<NodeId> current(pis.begin() + static_cast<long>(start),
+                                pis.begin() +
+                                    static_cast<long>(start + leaves_per_tree));
+    while (current.size() > 1) {
+      std::vector<NodeId> next;
+      std::size_t i = 0;
+      while (i < current.size()) {
+        const std::size_t k = std::min<std::size_t>(current.size() - i,
+                                                    2 + rng.below(3));
+        if (k < 2) {  // lone leftover: carry it up unchanged
+          next.push_back(current[i]);
+          ++i;
+          continue;
+        }
+        std::vector<NodeId> fanins(current.begin() + static_cast<long>(i),
+                                   current.begin() + static_cast<long>(i + k));
+        const Cover cover = random_full_cover(rng, static_cast<int>(k), 4);
+        next.push_back(net.add_node(fanins, cover,
+                                    "n" + std::to_string(node_id++)));
+        ++internal;
+        i += k;
+      }
+      current = std::move(next);
+    }
+    net.add_po("po" + std::to_string(po_id++), current[0]);
+  }
+  net.sweep();
+  net.check();
+  return net;
+}
+
+/// High-reconvergence mesh: `layers` equal-width layers where node i draws
+/// 2–4 fanins from the ±3 window around position i of the previous layer.
+/// Neighboring windows overlap in all but one position, so nearly every
+/// signal fans out to several consumers and reconverges a few levels up,
+/// while the banded structure keeps the positional variable order sane.
+Network generate_mesh(const ScaleProfile& p, Rng& rng) {
+  Network net(scale_name(p));
+  const std::size_t target = std::max<std::size_t>(p.target_gates, 8);
+  const std::size_t width = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(target)) + 0.5),
+      4, 512);
+  const std::size_t layers =
+      std::max<std::size_t>(2, (target + width / 2) / width);
+
+  std::vector<NodeId> prev;
+  for (std::size_t i = 0; i < width; ++i)
+    prev.push_back(net.add_pi("pi" + std::to_string(i)));
+
+  std::size_t node_id = 0;
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::vector<NodeId> layer;
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t lo = i >= 3 ? i - 3 : 0;
+      const std::size_t hi = std::min(width - 1, i + 3);
+      const std::size_t window = hi - lo + 1;
+      const std::size_t k =
+          std::min<std::size_t>(window, 2 + rng.below(3));
+      std::vector<NodeId> fanins;
+      while (fanins.size() < k) {
+        const NodeId cand = prev[lo + rng.below(window)];
+        if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+          fanins.push_back(cand);
+      }
+      const Cover cover = random_full_cover(rng, static_cast<int>(k), 4);
+      layer.push_back(net.add_node(fanins, cover,
+                                   "n" + std::to_string(node_id++)));
+    }
+    prev = std::move(layer);
+  }
+  for (std::size_t i = 0; i < prev.size(); ++i)
+    net.add_po("po" + std::to_string(i), prev[i]);
+  net.sweep();
+  net.check();
+  return net;
+}
+
 }  // namespace
+
+const std::vector<std::string>& scale_families() {
+  static const std::vector<std::string> families = {"chain", "cone", "mesh"};
+  return families;
+}
+
+bool is_scale_family(const std::string& family) {
+  for (const std::string& f : scale_families())
+    if (f == family) return true;
+  return false;
+}
+
+Network generate_scale_benchmark(const ScaleProfile& p) {
+  MP_CHECK_MSG(is_scale_family(p.family),
+               ("unknown scale family: " + p.family).c_str());
+  Rng rng(p.seed ^ 0x5ca1e0b5e55edULL);
+  if (p.family == "chain") return generate_chain(p, rng);
+  if (p.family == "cone") return generate_cone(p, rng);
+  return generate_mesh(p, rng);
+}
 
 Network generate_benchmark(const BenchProfile& p) {
   MP_CHECK(p.num_pi >= 2 && p.num_po >= 1 && p.num_nodes >= 1);

@@ -35,6 +35,42 @@ const std::vector<BenchProfile>& paper_suite();
 /// Lookup by circuit name (aborts if unknown).
 Network make_benchmark(const std::string& name);
 
+/// Parameterized scale-sweep families (DESIGN.md §16, ROADMAP item 3):
+/// seed-deterministic generators whose internal node count tracks
+/// `target_gates` from ~10^2 up to 10^5+ — the workload for `bench_flow
+/// --scale` trajectories and the `minpower trend` gate.
+///
+///   chain — deep parity chain: a running carry folds in one fresh operand
+///           PI per stage through an XOR/XNOR step, with XOR/AND/OR tap
+///           nodes one step off-chain feeding sampled POs. Depth grows
+///           linearly with size; the pure-parity spine keeps every prefix
+///           BDD linear-width under any variable order, so cost growth
+///           measures the *flow*, not an ordering accident.
+///   cone  — wide control cones: many independent shallow reduction trees,
+///           each folding a contiguous window of a large PI space down to
+///           one output through fanin-4-ish template nodes. Wide support,
+///           logarithmic depth, PO-heavy.
+///   mesh  — high-reconvergence mesh: equal-width layers where neighboring
+///           nodes draw fanins from heavily overlapping windows of the
+///           previous layer, so almost every signal reconverges a few
+///           levels up. The classic stress case for cofactor sharing.
+struct ScaleProfile {
+  std::string family = "chain";     // chain | cone | mesh
+  std::size_t target_gates = 100;   // requested internal node count
+  std::uint64_t seed = 1;
+};
+
+/// Canonical family names, in sweep order.
+const std::vector<std::string>& scale_families();
+
+/// True when `family` names a known scale family.
+bool is_scale_family(const std::string& family);
+
+/// Generate a scale-sweep instance named "<family>-<target>". Deterministic
+/// in the profile; after the generator's own sweep the internal node count
+/// lands within ~±25% of target_gates (locked by test_benchgen).
+Network generate_scale_benchmark(const ScaleProfile& profile);
+
 /// Two-level PLA-style circuit: every output is a sum of random cubes over
 /// the same inputs, so outputs share many literal pairs — the workload where
 /// common-subexpression extraction (plain or power-aware) has real freedom.

@@ -108,6 +108,7 @@ MapOptions map_options_for(Method method, const FlowOptions& options) {
   m.po_load = options.po_load;
   m.epsilon_t = options.epsilon_t;
   m.epsilon_c = options.epsilon_c;
+  m.max_curve_points = options.max_curve_points;
   m.policy = options.policy;
   m.relax_factor = options.relax_factor;
   m.pi_prob1 = options.pi_prob1;

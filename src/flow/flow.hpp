@@ -62,6 +62,10 @@ struct FlowOptions {
   double po_load = 2.0;
   double epsilon_t = 0.02;
   double epsilon_c = 1e-3;      // curve ε-pruning, cost axis
+  /// Hard cap on per-node mapper curve width (0 = unlimited, the exact
+  /// paper algorithm). Scale sweeps set this: without it curve width grows
+  /// with subject depth and mapping goes quadratic on chain-like circuits.
+  std::size_t max_curve_points = 0;
   RequiredTimePolicy policy = RequiredTimePolicy::kRelaxedMinDelay;
   double relax_factor = 1.35;
   DagHeuristic dag = DagHeuristic::kFanoutDivision;

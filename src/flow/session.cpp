@@ -79,6 +79,16 @@ Budget make_budget(const FlowOptions& flow,
   return b;
 }
 
+/// Structured reason string for a blown budget: leads with the stable site
+/// identifier and the BDD-cap watermark that was active when the limit
+/// fired, so flow reports (and the sharded sidecar) show *which* limit at
+/// *what* setting killed the task without parsing free-form text.
+std::string exhausted_reason(const ResourceExhausted& e,
+                             std::size_t bdd_cap) {
+  return "resource-exhausted site=" + e.site() +
+         " bdd_limit=" + std::to_string(bdd_cap) + ": " + e.what();
+}
+
 /// Whole lines only, under one mutex: concurrent tasks never interleave
 /// partial status output.
 void emit_status_line(const std::string& line) {
@@ -298,6 +308,7 @@ Hash128 option_fingerprint(const FlowOptions& o, const Network& net) {
   s.f64(o.po_load);
   s.f64(o.epsilon_t);
   s.f64(o.epsilon_c);
+  s.u64(o.max_curve_points);
   s.u64(static_cast<std::uint64_t>(o.policy));
   s.f64(o.relax_factor);
   s.u64(static_cast<std::uint64_t>(o.dag));
@@ -507,10 +518,12 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
     // the node cap and then re-decomposes over Monte-Carlo probabilities
     // (which skips the BDD pass entirely).
     reset_bounded_exact_fallbacks();
+    // Watermark of the most recent attempt, reported in failure reasons.
+    std::size_t attempted_cap = flow.bdd_node_limit;
     auto decomp_pass = [&](std::size_t node_cap,
                            const std::vector<double>* node_prob) {
       Budget budget = make_budget(flow, injections, ordinal, label);
-      budget.bdd_node_limit = node_cap;
+      budget.bdd_node_limit = attempted_cap = node_cap;
       BudgetScope scope(budget);
       NetworkDecompOptions dd = d;
       if (node_prob != nullptr) dd.node_prob = *node_prob;
@@ -528,9 +541,10 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
                     nullptr);
       }
     } catch (const ResourceExhausted& e) {
+      const std::size_t failed_cap = attempted_cap;
       if (e.site() == "deadline" || e.site() == "decomp") {
         g.status.state = TaskState::kFailed;
-        g.status.reason = e.what();
+        g.status.reason = exhausted_reason(e, failed_cap);
         return;
       }
       // MC signal probabilities: activity under kDynamicP is exactly P(=1).
@@ -543,7 +557,8 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
         g.status.reason = e2.what();
         return;
       }
-      if (g.status.reason.empty()) g.status.reason = e.what();
+      if (g.status.reason.empty())
+        g.status.reason = exhausted_reason(e, failed_cap);
       note_fallback("mc-activity");
     } catch (const std::exception& e) {
       g.status.state = TaskState::kFailed;
@@ -560,7 +575,7 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
       Budget budget = make_budget(flow, injections, ordinal,
                                   net.name() + "/activity[" +
                                       std::to_string(t % 3) + "]");
-      budget.bdd_node_limit = node_cap;
+      budget.bdd_node_limit = attempted_cap = node_cap;
       BudgetScope scope(budget);
       const auto t0 = std::chrono::steady_clock::now();
       g.activities = switching_activities(g.nd.network, flow.style,
@@ -578,7 +593,7 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
     } catch (const ResourceExhausted& e) {
       if (e.site() == "deadline") {
         g.status.state = TaskState::kFailed;
-        g.status.reason = e.what();
+        g.status.reason = exhausted_reason(e, attempted_cap);
         return;
       }
       // Fall back to Monte-Carlo activities: deterministic, BDD-free.
@@ -586,7 +601,8 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
       g.activities =
           monte_carlo_activities(g.nd.network, flow.style, flow.pi_prob1);
       g.activity_ms += ms_since(t0);
-      if (g.status.reason.empty()) g.status.reason = e.what();
+      if (g.status.reason.empty())
+        g.status.reason = exhausted_reason(e, attempted_cap);
       note_fallback("mc-activity");
     } catch (const std::exception& e) {
       g.status.state = TaskState::kFailed;
@@ -700,6 +716,11 @@ std::vector<std::vector<FlowResult>> FlowSession::run_suite(
       r.delay = rep.delay;
       r.power_uw = rep.power_uw;
       r.gates = rep.num_gates;
+    } catch (const ResourceExhausted& e) {
+      r.status.state = TaskState::kFailed;
+      r.status.reason = exhausted_reason(e, flow.bdd_node_limit);
+      r.area = r.delay = r.power_uw = 0.0;
+      r.gates = 0;
     } catch (const std::exception& e) {
       r.status.state = TaskState::kFailed;
       r.status.reason = e.what();

@@ -45,6 +45,25 @@ void Curve::prune(double epsilon_t, double epsilon_c) {
   points_ = std::move(kept);
 }
 
+void Curve::downsample(std::size_t max_points) {
+  if (max_points < 2 || points_.size() <= max_points) return;
+  std::vector<CurvePoint> kept;
+  kept.reserve(max_points);
+  // i-th kept point = round(i · (n−1) / (m−1)): index 0 (fastest) and
+  // index n−1 (cheapest) are always selected exactly.
+  const std::size_t n = points_.size();
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t src = (i * (n - 1) + (max_points - 1) / 2) /
+                            (max_points - 1);
+    if (!kept.empty() &&
+        kept.back().arrival == points_[src].arrival &&
+        kept.back().cost == points_[src].cost)
+      continue;
+    kept.push_back(std::move(points_[src]));
+  }
+  points_ = std::move(kept);
+}
+
 bool Curve::admissible(double arrival, double cost) const {
   // Mirror of insert's rejection logic, for callers that want to skip
   // building a full CurvePoint (match bookkeeping, the input_point vector)

@@ -45,6 +45,14 @@ class Curve {
   /// `epsilon_c == 0` disables pruning entirely.
   void prune(double epsilon_t, double epsilon_c);
 
+  /// Thin the curve to at most `max_points` by keeping evenly spaced
+  /// indices (always including the fastest and cheapest endpoints).
+  /// Deterministic; a no-op when the curve already fits. The ε-pruning
+  /// above bounds *local* redundancy, this bounds the absolute width —
+  /// on deep chain-like subjects cumulative cost spread grows with depth,
+  /// so unbounded curves make the mapper quadratic in depth.
+  void downsample(std::size_t max_points);
+
   /// Index of the cheapest point with arrival ≤ `required` after shifting
   /// each point by `load_shift × point.drive`; −1 when none qualifies.
   int best_within(double required, double load_shift = 0.0) const;

@@ -190,13 +190,16 @@ MapResult map_network(const Network& subject, const Library& lib,
     }
     const std::size_t before_prune = out.size();
     out.prune(options.epsilon_t, options.epsilon_c);
+    if (options.max_curve_points != 0) out.downsample(options.max_curve_points);
     MP_CHECK(!out.empty());
     result.total_curve_points += out.size();
     points_pruned += before_prune - out.size();
+    if (out.size() > result.max_curve_points) result.max_curve_points = out.size();
   }
   metrics::counter("map.match_attempts").add(result.total_matches);
   metrics::counter("map.curve_points_kept").add(result.total_curve_points);
   metrics::counter("map.curve_points_pruned").add(points_pruned);
+  metrics::gauge("map.curve_points_max").record_max(result.max_curve_points);
 
   // ---- required times at the primary outputs -------------------------------
   std::vector<double> load(subject.capacity(), 0.0);  // committed loads

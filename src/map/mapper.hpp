@@ -65,6 +65,13 @@ struct MapOptions {
   double epsilon_t = 0.02;    // time axis (ns)
   double epsilon_c = 1e-3;    // cost axis (µW or area units)
 
+  // Hard cap on per-node curve width (0 = unlimited). ε-pruning only bounds
+  // local redundancy: on deep chain-like subjects the cumulative cost spread
+  // grows with depth, curves widen linearly, and the mapper goes quadratic.
+  // When set, curves wider than the cap are thinned to evenly spaced points
+  // (endpoints always kept) after each node's pruning pass.
+  std::size_t max_curve_points = 0;
+
   RequiredTimePolicy policy = RequiredTimePolicy::kRelaxedMinDelay;
   double relax_factor = 1.15;
   std::vector<double> po_required;  // explicit required times (overrides)
@@ -82,6 +89,7 @@ struct MapResult {
   std::vector<double> po_required_used;  // constraint actually applied
   std::size_t total_curve_points = 0;    // post-pruning, for the ε ablation
   std::size_t total_matches = 0;
+  std::size_t max_curve_points = 0;      // widest per-node curve seen
 };
 
 /// Map a NAND2/INV subject network onto `lib`. The subject must satisfy

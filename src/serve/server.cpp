@@ -96,6 +96,9 @@ bool apply_option(const std::string& token, FlowOptions* flow,
   } else if (key == "step_limit") {
     if (!parse_u64(val, &u)) return bad_value();
     flow->task_step_limit = u;
+  } else if (key == "map_curve_cap") {
+    if (!parse_u64(val, &u)) return bad_value();
+    flow->max_curve_points = u;
   } else if (key == "vdd") {
     if (!parse_double(val, &flow->vdd)) return bad_value();
   } else if (key == "t_cycle") {

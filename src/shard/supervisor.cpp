@@ -24,6 +24,7 @@
 #include "util/json_reader.hpp"
 #include "util/json_writer.hpp"
 #include "util/log.hpp"
+#include "util/meminfo.hpp"
 
 namespace minpower::shard {
 
@@ -44,7 +45,13 @@ constexpr std::size_t kMinWorkerBddLimit = 1u << 20;
 
 bool is_worker_site(const std::string& site) {
   return site == "worker-abort" || site == "worker-hang" ||
-         site == "worker-oom";
+         site == "worker-oom" || site == "worker-bloat";
+}
+
+/// One compact MEM protocol line from an OS memory sample.
+std::string mem_record(const MemSample& m) {
+  return "MEM {\"rss_kb\":" + std::to_string(m.rss_kb) +
+         ",\"hwm_kb\":" + std::to_string(m.hwm_kb) + "}\n";
 }
 
 bool fail(std::string* error, const std::string& message) {
@@ -76,7 +83,7 @@ class PipeWriter {
   std::mutex mu_;
 };
 
-/// Body of a forked worker. Streams START/CELL/BEAT/DONE lines to the
+/// Body of a forked worker. Streams START/CELL/BEAT/MEM/DONE lines to the
 /// supervisor and leaves only via _exit() — no static destructors, no
 /// stdio flush of buffers inherited from the parent.
 [[noreturn]] void worker_main(int pipe_fd,
@@ -99,6 +106,12 @@ class PipeWriter {
     heartbeat = std::thread([&] {
       while (beating.load(std::memory_order_relaxed)) {
         if (!out.write_line("BEAT\n")) ::_exit(1);
+        // Memory self-sample on the heartbeat tick: the kernel's view of
+        // this worker (VmRSS/VmHWM) rides the same liveness cadence, so the
+        // supervisor sees pressure building while the worker still lives.
+        MemSample m;
+        if (sample_self_memory(&m) && !out.write_line(mem_record(m)))
+          ::_exit(1);
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options.heartbeat_ms));
       }
@@ -132,6 +145,20 @@ class PipeWriter {
             beating.store(false, std::memory_order_relaxed);
             for (;;) ::pause();  // silent until the supervisor SIGKILLs us
           }
+          if (f.site == "worker-bloat") {
+            // Allocate and touch a ~160 MiB ballast, then hold it across
+            // several heartbeat periods so shipped MEM samples cross the
+            // supervisor's watermarks while BEATs keep flowing — any kill
+            // under --mem-limit-mb must come from memory governance, not
+            // the heartbeat reaper. Without a limit the ballast is simply
+            // released and the circuit computes normally.
+            std::vector<char> ballast(std::size_t{160} << 20);
+            for (std::size_t off = 0; off < ballast.size(); off += 4096)
+              ballast[off] = 1;
+            const int tick =
+                options.heartbeat_ms > 0 ? options.heartbeat_ms : 50;
+            std::this_thread::sleep_for(std::chrono::milliseconds(tick * 8));
+          }
         }
       }
       const std::vector<FlowResult> results =
@@ -162,6 +189,13 @@ class PipeWriter {
       }
       if (!out.write_line("METRICS " + snap.str() + "\n")) ::_exit(1);
     }
+    // Final memory sample: VmHWM here is the incarnation's true peak even
+    // when the heartbeat cadence missed a short-lived spike.
+    {
+      MemSample m;
+      if (sample_self_memory(&m) && !out.write_line(mem_record(m)))
+        ::_exit(1);
+    }
     out.write_line("DONE\n");
   } catch (const std::exception&) {
     // Engine tasks are individually fault-isolated, so an escaping
@@ -191,7 +225,8 @@ struct WorkerState {
   long current = -1;               // circuit last STARTed, -1 between
   int restarts = 0;
   bool restart_pending = false;
-  bool kill_sent = false;  // heartbeat SIGKILL already delivered
+  bool kill_sent = false;      // reaper/mem SIGKILL already delivered
+  bool mem_soft_seen = false;  // soft watermark instant already raised
   Clock::time_point last_activity;
   Clock::time_point restart_at;
 
@@ -211,6 +246,7 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
   trace::ensure_origin();
   const std::size_t n = circuits.size();
   ShardRun run;
+  run.mem_limit_mb = options.mem_limit_mb;
   run.per_circuit.assign(n, std::vector<FlowResult>(kMethodsPerCircuit));
   std::vector<std::string> names(n);
   for (std::size_t ci = 0; ci < n; ++ci) {
@@ -324,6 +360,7 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     w.current = -1;
     w.restart_pending = false;
     w.kill_sent = false;
+    w.mem_soft_seen = false;
     w.last_activity = Clock::now();
     ++run.stats.workers_spawned;
     {
@@ -378,11 +415,96 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
         crash_count[ci]);
   };
 
+  // One OS memory sample for a worker (MEM record or direct /proc read):
+  // fold it into the per-incarnation peaks, mirror it into the merged trace
+  // as a ph:"C" counter series on the supervisor lane, and enforce the
+  // mem-limit watermarks. The sample value itself never reaches the
+  // canonical merged report — it is not deterministic.
+  const auto note_worker_memory = [&](WorkerState& w, std::size_t rss_kb,
+                                      std::size_t hwm_kb) {
+    const int idx = static_cast<int>(&w - workers.data());
+    WorkerMemory* slot = nullptr;
+    for (auto it = run.worker_memory.rbegin(); it != run.worker_memory.rend();
+         ++it)
+      if (it->pid == static_cast<int>(w.pid)) {
+        slot = &*it;
+        break;
+      }
+    if (slot == nullptr) {
+      run.worker_memory.push_back(
+          WorkerMemory{idx, static_cast<int>(w.pid), 0, 0});
+      slot = &run.worker_memory.back();
+    }
+    slot->peak_rss_kb = std::max(slot->peak_rss_kb, rss_kb);
+    slot->peak_hwm_kb = std::max(slot->peak_hwm_kb, hwm_kb);
+    if (trace::enabled()) {
+      trace::Event e;
+      e.name = "mem.worker-" + std::to_string(idx);
+      e.cat = "shard";
+      e.ph = 'C';
+      e.ts_us = trace::detail::to_us(trace::Tracer::Clock::now() -
+                                     trace::Tracer::instance().origin());
+      trace::detail::add_arg(e, "rss_kb",
+                             static_cast<unsigned long long>(rss_kb));
+      trace::detail::add_arg(e, "hwm_kb",
+                             static_cast<unsigned long long>(hwm_kb));
+      trace::Tracer::instance().record(std::move(e));
+    }
+    if (options.mem_limit_mb == 0 || !w.live() || w.kill_sent) return;
+    const std::size_t limit_kb = options.mem_limit_mb * 1024;
+    const std::size_t soft_kb = limit_kb - limit_kb / 5;  // ~80%
+    if (rss_kb >= limit_kb) {
+      ++run.stats.mem_pressure_events;
+      {
+        trace::Instant i("mem-pressure", "shard");
+        i.arg("level", "hard");
+        i.arg("pid", static_cast<long long>(w.pid));
+        i.arg("rss_kb", static_cast<unsigned long long>(rss_kb));
+        i.arg("limit_mb",
+              static_cast<unsigned long long>(options.mem_limit_mb));
+      }
+      {
+        trace::Instant i("sigkill", "shard");
+        i.arg("pid", static_cast<long long>(w.pid));
+        i.arg("reason", "mem-limit");
+      }
+      log("worker pid %d rss %zu kB breached the %zu MiB limit; SIGKILL",
+          static_cast<int>(w.pid), rss_kb, options.mem_limit_mb);
+      ::kill(w.pid, SIGKILL);
+      w.kill_sent = true;
+      ++run.stats.mem_kills;
+    } else if (rss_kb >= soft_kb && !w.mem_soft_seen) {
+      w.mem_soft_seen = true;
+      ++run.stats.mem_pressure_events;
+      trace::Instant i("mem-pressure", "shard");
+      i.arg("level", "soft");
+      i.arg("pid", static_cast<long long>(w.pid));
+      i.arg("rss_kb", static_cast<unsigned long long>(rss_kb));
+      i.arg("limit_mb", static_cast<unsigned long long>(options.mem_limit_mb));
+      log("worker pid %d rss %zu kB crossed the soft watermark (%zu kB)",
+          static_cast<int>(w.pid), rss_kb, soft_kb);
+    }
+  };
+
   // One complete protocol line from a worker. False on a protocol breach
   // (the worker is then killed and handled through the crash path).
   const auto handle_line = [&](WorkerState& w,
                                const std::string& line) -> bool {
     if (line == "BEAT" || line == "DONE") return true;
+    if (line.rfind("MEM ", 0) == 0) {
+      std::string parse_error;
+      const std::optional<JsonValue> v =
+          parse_json(line.substr(4), &parse_error);
+      if (!v || v->kind != JsonValue::Kind::kObject) return false;
+      std::size_t rss_kb = 0;
+      std::size_t hwm_kb = 0;
+      if (const JsonValue* r = v->find("rss_kb"))
+        rss_kb = r->number > 0 ? static_cast<std::size_t>(r->number) : 0;
+      if (const JsonValue* h = v->find("hwm_kb"))
+        hwm_kb = h->number > 0 ? static_cast<std::size_t>(h->number) : 0;
+      note_worker_memory(w, rss_kb, hwm_kb);
+      return true;
+    }
     if (line.rfind("TRACE ", 0) == 0) {
       std::string parse_error;
       std::optional<std::vector<trace::ThreadEvents>> threads =
@@ -516,6 +638,8 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
             .count());
   };
 
+  Clock::time_point last_mem_sample{};  // epoch → first loop samples
+
   while (!all_finished()) {
     const Clock::time_point now = Clock::now();
 
@@ -523,6 +647,22 @@ bool run_sharded_suite(const std::vector<const Network*>& circuits,
     for (WorkerState& w : workers)
       if (w.restart_pending && now >= w.restart_at)
         if (!spawn(w)) return false;
+
+    // Memory governance: under a limit the supervisor also samples each
+    // live worker's /proc/<pid>/status directly at heartbeat cadence — a
+    // worker wedged inside a huge allocation ships no MEM records, but the
+    // kernel still tells the truth about it.
+    if (options.mem_limit_mb > 0 &&
+        now - last_mem_sample >= std::chrono::milliseconds(
+                                     std::max(options.heartbeat_ms, 1))) {
+      last_mem_sample = now;
+      for (WorkerState& w : workers) {
+        if (!w.live() || w.kill_sent) continue;
+        MemSample m;
+        if (sample_process_memory(static_cast<long>(w.pid), &m))
+          note_worker_memory(w, m.rss_kb, m.hwm_kb);
+      }
+    }
 
     // Heartbeat reaper.
     if (options.heartbeat_timeout_ms > 0) {
@@ -694,12 +834,33 @@ void write_shard_metrics_json(std::ostream& os, const ShardRun& run,
           static_cast<unsigned long long>(run.stats.worker_restarts));
   w.field("heartbeat_kills",
           static_cast<unsigned long long>(run.stats.heartbeat_kills));
+  w.field("mem_kills", static_cast<unsigned long long>(run.stats.mem_kills));
+  w.field("mem_pressure_events",
+          static_cast<unsigned long long>(run.stats.mem_pressure_events));
   w.field("cells_resumed",
           static_cast<unsigned long long>(run.stats.cells_resumed));
   w.field("cells_computed",
           static_cast<unsigned long long>(run.stats.cells_computed));
   w.field("cells_failed",
           static_cast<unsigned long long>(run.stats.cells_failed));
+  w.end_object();
+  // OS memory peaks per worker incarnation (kB, kernel-reported). These are
+  // observational, not deterministic — which is exactly why they live here
+  // and never in the canonical merged report.
+  w.key("memory");
+  w.begin_object();
+  w.field("limit_mb", static_cast<unsigned long long>(run.mem_limit_mb));
+  w.key("workers");
+  w.begin_array();
+  for (const WorkerMemory& m : run.worker_memory) {
+    w.begin_object();
+    w.field("worker", m.worker);
+    w.field("pid", m.pid);
+    w.field("peak_rss_kb", static_cast<unsigned long long>(m.peak_rss_kb));
+    w.field("peak_hwm_kb", static_cast<unsigned long long>(m.peak_hwm_kb));
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.end_object();
   os << '\n';

@@ -12,6 +12,10 @@
 //                               payload is the compact methods[] object of
 //                               minpower.flow.v1 (write_flow_result_json)
 //   BEAT                      — heartbeat (liveness, no payload)
+//   MEM <json>                — OS memory self-sample taken on the heartbeat
+//                               tick: {"rss_kb":N,"hwm_kb":N} from
+//                               /proc/self/status (VmRSS/VmHWM); one final
+//                               sample is shipped before DONE
 //   TRACE <json>              — span snapshot (trace/wire.hpp), sent once
 //                               right before DONE when tracing is enabled
 //   METRICS <json>            — the worker's metrics-registry snapshot
@@ -51,11 +55,25 @@
 // missing cells — producing a merged document byte-identical to an
 // uninterrupted run (cells are deterministic; rendering is canonical).
 //
-// Fault injection: `worker-abort`, `worker-oom` and `worker-hang` sites
-// (util/budget.hpp) fire in the worker that owns the circuit whose global
-// index matches the injection ordinal, after START is sent — deterministic
-// crash-recovery testing. Each fires at most once per run: restarted
-// workers are told which circuits already crashed and skip their faults.
+// Memory governance (DESIGN.md §16): workers self-sample VmRSS/VmHWM on
+// every heartbeat tick and ship MEM records; when `mem_limit_mb` is set the
+// supervisor additionally samples each live worker's /proc/<pid>/status
+// directly at heartbeat cadence (a worker wedged inside an allocation stops
+// shipping anything). Every sample updates `ShardRun::worker_memory` and,
+// when tracing, lands as a `ph:"C"` counter event on the supervisor lane.
+// Crossing ~80% of the limit raises a structured `mem-pressure` instant
+// (level "soft", once per incarnation); reaching the limit raises a "hard"
+// instant and a controlled SIGKILL (`mem_kills`), so the restart path
+// tightens the BDD cap pre-emptively (budget-tighten) instead of letting
+// the kernel OOM killer fire at an arbitrary moment.
+//
+// Fault injection: `worker-abort`, `worker-oom`, `worker-hang` and
+// `worker-bloat` sites (util/budget.hpp) fire in the worker that owns the
+// circuit whose global index matches the injection ordinal, after START is
+// sent — deterministic crash-recovery testing (`worker-bloat` allocates and
+// holds a ~160 MiB ballast across several heartbeat periods so the memory
+// watermarks trip). Each fires at most once per run: restarted workers are
+// told which circuits already crashed and skip their faults.
 
 #include <cstddef>
 #include <cstdint>
@@ -93,6 +111,12 @@ struct ShardOptions {
   /// Armed faults (env + CLI merged). worker-* sites are consumed here;
   /// everything else is forwarded to the workers' engines.
   std::vector<FaultInjection> injections;
+  /// Per-worker resident-set watermark in MiB; 0 disables memory
+  /// governance (MEM records are still collected as telemetry). A worker
+  /// crossing ~80% raises a soft `mem-pressure` instant; reaching the limit
+  /// is a hard breach: the worker is SIGKILLed in a controlled way and
+  /// restarted under a tightened BDD budget.
+  std::size_t mem_limit_mb = 0;
   /// One stderr line per supervisor event (spawn/crash/restart/kill).
   bool verbose = false;
 };
@@ -102,9 +126,22 @@ struct ShardStats {
   unsigned worker_crashes = 0;     // nonzero exit / signal / protocol break
   unsigned worker_restarts = 0;    // crashes that led to a restart
   unsigned heartbeat_kills = 0;    // SIGKILLs for missed heartbeats
+  unsigned mem_kills = 0;          // SIGKILLs for hard mem-limit breaches
+  unsigned mem_pressure_events = 0;  // soft+hard watermark crossings
   std::size_t cells_resumed = 0;   // seeded from the journal
   std::size_t cells_computed = 0;  // received from workers this run
   std::size_t cells_failed = 0;    // marked failed after retry exhaustion
+};
+
+/// Peak OS memory observed for one worker incarnation (MEM records plus
+/// direct /proc sampling under mem_limit_mb). kB units, as reported by the
+/// kernel; inherently non-deterministic, so this never reaches the
+/// canonical merged report — sidecar/trace/trajectory only.
+struct WorkerMemory {
+  int worker = 0;  // shard index
+  int pid = 0;     // incarnation pid
+  std::size_t peak_rss_kb = 0;
+  std::size_t peak_hwm_kb = 0;
 };
 
 struct ShardRun {
@@ -118,6 +155,11 @@ struct ShardRun {
   std::vector<trace::ProcessLane> worker_lanes;
   /// One registry snapshot per worker incarnation that shipped METRICS.
   std::vector<metrics::Snapshot> worker_metrics;
+  /// Peak RSS/HWM per worker incarnation that was ever sampled (empty on
+  /// platforms without /proc).
+  std::vector<WorkerMemory> worker_memory;
+  /// Echo of ShardOptions::mem_limit_mb for the sidecar's memory block.
+  std::size_t mem_limit_mb = 0;
 };
 
 /// Run the suite across worker processes. False (with `error`) only on
@@ -144,7 +186,8 @@ void write_shard_trace(std::ostream& os, const ShardRun& run);
 
 /// Metrics sidecar (`minpower.shard_metrics.v1`): the merged worker
 /// registries as a standard metrics block plus a `shard` object with the
-/// supervisor's own lifecycle statistics. Kept out of the canonical merged
+/// supervisor's own lifecycle statistics and a `memory` object with the
+/// per-worker peak RSS/HWM samples. Kept out of the canonical merged
 /// report on purpose — it varies run to run under restarts.
 void write_shard_metrics_json(std::ostream& os, const ShardRun& run,
                               unsigned shards);

@@ -78,8 +78,9 @@ struct Arg {
   unsigned long long u = 0;
 };
 
-/// A finished span (`ph:"X"`) or instant mark (`ph:"i"`, dur ignored):
-/// times are microseconds since the tracer origin.
+/// A finished span (`ph:"X"`), instant mark (`ph:"i"`, dur ignored), or
+/// counter sample (`ph:"C"`, numeric args become the counter series): times
+/// are microseconds since the tracer origin.
 struct Event {
   std::string name;
   std::string cat;
@@ -192,8 +193,9 @@ class Tracer {
     return out;
   }
 
-  /// One Chrome trace-event object (`ph:"X"` complete or `ph:"i"` instant,
-  /// process scope) under the given pid/tid lane.
+  /// One Chrome trace-event object (`ph:"X"` complete, `ph:"i"` instant at
+  /// process scope, or `ph:"C"` counter sample) under the given pid/tid
+  /// lane.
   static void write_event_json(JsonWriter& w, const Event& e, int pid,
                                int tid) {
     w.begin_object();
@@ -202,6 +204,9 @@ class Tracer {
     if (e.ph == 'i') {
       w.field("ph", "i");
       w.field("s", "p");
+      w.field("ts", static_cast<unsigned long long>(e.ts_us));
+    } else if (e.ph == 'C') {
+      w.field("ph", "C");
       w.field("ts", static_cast<unsigned long long>(e.ts_us));
     } else {
       w.field("ph", "X");

@@ -58,9 +58,11 @@ MP_TRACE_COLD inline void write_events_json(
       w.begin_object();
       w.field("name", e.name);
       w.field("cat", e.cat);
-      w.field("ph", e.ph == 'i' ? "i" : "X");
+      w.field("ph", e.ph == 'i'   ? "i"
+                    : e.ph == 'C' ? "C"
+                                  : "X");
       w.field("ts", static_cast<unsigned long long>(e.ts_us));
-      if (e.ph != 'i')
+      if (e.ph != 'i' && e.ph != 'C')
         w.field("dur", static_cast<unsigned long long>(e.dur_us));
       w.key("args");
       w.begin_object();
@@ -133,7 +135,9 @@ parse_events_json(std::string_view text, std::string* error = nullptr) {
         if (const JsonValue* v = ej.find("name")) e.name = v->string;
         if (const JsonValue* v = ej.find("cat")) e.cat = v->string;
         if (const JsonValue* v = ej.find("ph"))
-          e.ph = v->string == "i" ? 'i' : 'X';
+          e.ph = v->string == "i"   ? 'i'
+                 : v->string == "C" ? 'C'
+                                    : 'X';
         if (const JsonValue* v = ej.find("ts"))
           e.ts_us = wire_detail::as_u64(*v);
         if (const JsonValue* v = ej.find("dur"))

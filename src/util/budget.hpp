@@ -26,7 +26,9 @@
 //     "worker-abort" calls std::abort() (SIGABRT), "worker-oom" raises
 //     SIGKILL (the un-catchable OOM-killer shape), "worker-hang" stops
 //     heartbeating and sleeps until the supervisor's heartbeat timeout
-//     kills the worker. These sites never match an in-process checkpoint
+//     kills the worker, "worker-bloat" allocates and holds a ~160 MiB
+//     ballast across several heartbeat periods so the --mem-limit-mb
+//     watermarks trip. These sites never match an in-process checkpoint
 //     name, so they are inert outside sharded runs.
 
 #include <chrono>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "benchgen/benchgen.hpp"
+#include "flow/flow.hpp"
 #include "io/blif.hpp"
 #include "prob/probability.hpp"
 
@@ -71,6 +72,92 @@ TEST(Benchgen, RoundTripsThroughBlif) {
   Network net = make_benchmark("cm42a");
   Network back = read_blif_string(write_blif_string(net));
   EXPECT_TRUE(networks_equivalent(net, back));
+}
+
+TEST(ScaleFamilies, ThreeCanonicalFamilies) {
+  ASSERT_EQ(scale_families().size(), 3u);
+  for (const char* f : {"chain", "cone", "mesh"}) {
+    EXPECT_TRUE(is_scale_family(f)) << f;
+  }
+  EXPECT_FALSE(is_scale_family("nonesuch"));
+}
+
+TEST(ScaleFamilies, SeedDeterminismByteIdenticalBlif) {
+  for (const std::string& family : scale_families()) {
+    ScaleProfile p;
+    p.family = family;
+    p.target_gates = 200;
+    p.seed = 42;
+    EXPECT_EQ(write_blif_string(generate_scale_benchmark(p)),
+              write_blif_string(generate_scale_benchmark(p)))
+        << family;
+    ScaleProfile q = p;
+    q.seed = 43;
+    EXPECT_NE(write_blif_string(generate_scale_benchmark(p)),
+              write_blif_string(generate_scale_benchmark(q)))
+        << family;
+  }
+}
+
+TEST(ScaleFamilies, AcyclicByConstruction) {
+  // Node ids are assigned in creation order and fanins must pre-exist, so
+  // fanin-id < node-id is a structural proof of acyclicity.
+  for (const std::string& family : scale_families()) {
+    ScaleProfile p;
+    p.family = family;
+    p.target_gates = 300;
+    p.seed = 7;
+    Network net = generate_scale_benchmark(p);
+    net.check();
+    for (NodeId id = 0; id < static_cast<NodeId>(net.capacity()); ++id) {
+      const Node& n = net.node(id);
+      if (!n.is_internal()) continue;
+      for (NodeId f : n.fanins) EXPECT_LT(f, id) << family;
+    }
+  }
+}
+
+TEST(ScaleFamilies, GateCountTracksTarget) {
+  for (const std::string& family : scale_families()) {
+    for (const std::size_t target : {100u, 400u, 1200u}) {
+      ScaleProfile p;
+      p.family = family;
+      p.target_gates = target;
+      p.seed = 5;
+      const Network net = generate_scale_benchmark(p);
+      const double gates = static_cast<double>(net.num_internal());
+      EXPECT_GE(gates, 0.75 * static_cast<double>(target))
+          << family << ":" << target;
+      EXPECT_LE(gates, 1.25 * static_cast<double>(target))
+          << family << ":" << target;
+      EXPECT_EQ(net.name(),
+                family + "-" + std::to_string(target));
+    }
+  }
+}
+
+TEST(ScaleFamilies, SmallInstancesSurviveOptimizationEquivalently) {
+  // BDD-equivalence spot check via the verify-layer oracle: the rugged-lite
+  // preparation pass must preserve each family's function, and the BLIF
+  // round trip must too.
+  for (const std::string& family : scale_families()) {
+    ScaleProfile p;
+    p.family = family;
+    p.target_gates = 60;
+    p.seed = 9;
+    const Network net = generate_scale_benchmark(p);
+    Network prepared = net;
+    prepare_network(prepared);
+    EXPECT_TRUE(networks_equivalent(net, prepared)) << family;
+    const Network back = read_blif_string(write_blif_string(net));
+    EXPECT_TRUE(networks_equivalent(net, back)) << family;
+  }
+}
+
+TEST(ScaleFamilies, UnknownFamilyAborts) {
+  ScaleProfile p;
+  p.family = "nonesuch";
+  EXPECT_DEATH(generate_scale_benchmark(p), "unknown scale family");
 }
 
 TEST(Pla, GeneratesTwoLevelCircuit) {

@@ -105,6 +105,41 @@ TEST(Curve, BestWithin) {
   EXPECT_EQ(c.best_within(0.5), -1);  // infeasible
 }
 
+TEST(Curve, DownsampleKeepsEndpointsAndBound) {
+  Curve c;
+  for (int i = 0; i < 100; ++i)
+    c.insert(pt(static_cast<double>(i), 100.0 - i));
+  ASSERT_EQ(c.size(), 100u);
+
+  c.downsample(8);
+  ASSERT_LE(c.size(), 8u);
+  ASSERT_GE(c.size(), 2u);
+  // Endpoints survive: the fastest and the cheapest solutions must remain
+  // reachable after thinning.
+  EXPECT_DOUBLE_EQ(c[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(c[c.size() - 1].arrival, 99.0);
+  // Still a strictly monotone staircase.
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i - 1].arrival, c[i].arrival);
+    EXPECT_GT(c[i - 1].cost, c[i].cost);
+  }
+}
+
+TEST(Curve, DownsampleIsIdempotentAndNoOpWhenSmall) {
+  Curve c;
+  for (int i = 0; i < 5; ++i) c.insert(pt(static_cast<double>(i), 10.0 - i));
+  c.downsample(8);  // already under the cap
+  EXPECT_EQ(c.size(), 5u);
+  c.downsample(0);  // 0/1 = no cap (a 1-point "curve" is meaningless)
+  c.downsample(1);
+  EXPECT_EQ(c.size(), 5u);
+  c.downsample(3);
+  const std::size_t once = c.size();
+  EXPECT_LE(once, 3u);
+  c.downsample(3);  // applying the same cap again changes nothing
+  EXPECT_EQ(c.size(), once);
+}
+
 TEST(Curve, BestWithinAppliesLoadShift) {
   Curve c;
   c.insert(pt(1.0, 10.0, /*drive=*/2.0));

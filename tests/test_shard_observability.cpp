@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <string>
@@ -201,6 +202,97 @@ TEST(ShardObservability, WorkerAbortEmitsLifecycleInstantsAndKeepsLanes) {
     EXPECT_NE(ir.find_str("death"), nullptr);
     EXPECT_NE(ir.find_str("circuit"), nullptr);
   }
+}
+
+TEST(ShardObservability, MemLimitKillsBloatedWorkerAndRunRecovers) {
+  const std::vector<Network> nets = suite_prefix(3);
+  const auto circuits = pointers(nets);
+
+  // Clean reference: no limit, no fault. Cells are deterministic, so the
+  // governed run below must reproduce this report byte for byte.
+  shard::ShardOptions clean;
+  clean.shards = 2;
+  const shard::ShardRun ref = run_or_die(circuits, clean);
+  std::ostringstream ref_json;
+  shard::write_sharded_flow_json(ref_json, ref, clean.shards,
+                                 standard_library().name());
+
+  // Governed run: circuit 1's worker balloons by ~160 MiB while a 120 MiB
+  // watermark is armed — memory governance (not the heartbeat reaper) must
+  // SIGKILL it, and the restarted worker (which skips the fault) must
+  // finish the partition.
+  shard::ShardOptions so;
+  so.shards = 2;
+  so.mem_limit_mb = 120;
+  so.injections = {{"worker-bloat", 1}};
+  so.heartbeat_ms = 100;
+  so.backoff_ms = 10;
+  shard::ShardRun run;
+  std::string raw_trace;
+  trace::TraceProfile p;
+  {
+    TraceGuard guard;
+    run = run_or_die(circuits, so);
+    std::ostringstream os;
+    shard::write_shard_trace(os, run);
+    raw_trace = os.str();
+    std::string error;
+    ASSERT_TRUE(trace::analyze_chrome_trace(raw_trace, &p, &error)) << error;
+  }
+
+  // Graceful degradation: the kill is controlled, attributed, recovered.
+  EXPECT_GE(run.stats.mem_kills, 1u);
+  EXPECT_GE(run.stats.mem_pressure_events, 1u);
+  EXPECT_GE(run.stats.worker_restarts, 1u);
+  EXPECT_EQ(run.stats.cells_failed, 0u);
+  EXPECT_EQ(run.stats.heartbeat_kills, 0u);  // BEATs kept flowing
+
+  // The breach is visible as lifecycle instants with structured args.
+  EXPECT_GE(count_instants(p, "mem-pressure"), 1u);
+  bool hard_seen = false;
+  for (const trace::InstantRecord& ir : p.lifecycle) {
+    if (ir.name != "mem-pressure") continue;
+    const std::string* level = ir.find_str("level");
+    ASSERT_NE(level, nullptr);
+    EXPECT_NE(ir.find_num("rss_kb"), nullptr);
+    EXPECT_NE(ir.find_num("limit_mb"), nullptr);
+    if (*level == "hard") hard_seen = true;
+  }
+  EXPECT_TRUE(hard_seen);
+  EXPECT_GE(count_instants(p, "sigkill"), 1u);
+  EXPECT_GE(count_instants(p, "worker-restart"), 1u);
+
+  // MEM records round-trip: the bloated incarnation's kernel-reported peak
+  // reached the watermark, and samples landed as ph:"C" counter events on
+  // the supervisor lane of the merged trace.
+  ASSERT_FALSE(run.worker_memory.empty());
+  std::size_t peak = 0;
+  for (const shard::WorkerMemory& m : run.worker_memory)
+    peak = std::max({peak, m.peak_rss_kb, m.peak_hwm_kb});
+  EXPECT_GE(peak, so.mem_limit_mb * 1024);
+  EXPECT_NE(raw_trace.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(raw_trace.find("mem.worker-"), std::string::npos);
+
+  // The sidecar's memory block carries the per-incarnation peaks.
+  std::ostringstream mos;
+  shard::write_shard_metrics_json(mos, run, so.shards);
+  std::string error;
+  const auto doc = parse_json(mos.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* memory = doc->find("memory");
+  ASSERT_NE(memory, nullptr);
+  const JsonValue* limit = memory->find("limit_mb");
+  ASSERT_NE(limit, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(limit->number), so.mem_limit_mb);
+  const JsonValue* mem_workers = memory->find("workers");
+  ASSERT_NE(mem_workers, nullptr);
+  EXPECT_GE(mem_workers->items.size(), run.worker_memory.size());
+
+  // And the canonical merged report is byte-identical to the clean run's.
+  std::ostringstream got_json;
+  shard::write_sharded_flow_json(got_json, run, so.shards,
+                                 standard_library().name());
+  EXPECT_EQ(got_json.str(), ref_json.str());
 }
 
 TEST(ShardObservability, MergedMetricsEqualSingleProcessRegistry) {

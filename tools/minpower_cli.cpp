@@ -15,6 +15,7 @@
 //                   [--shards N] [--journal F] [--resume F]
 //                   [--shard-retries N] [--backoff-ms T]
 //                   [--heartbeat-ms T] [--heartbeat-timeout-ms T]
+//                   [--mem-limit-mb N] [--map-curve-cap N]
 //                                                  run Methods I–VI per circuit,
 //                                                  print table (+ JSON, + Chrome
 //                                                  trace for chrome://tracing).
@@ -47,6 +48,20 @@
 //                                                  over two minpower.flow.v1
 //                                                  reports
 //                                                  (minpower.compare.v1)
+//   minpower trend  <traj.jsonl>... [--baseline ref.jsonl] [--json out.json]
+//                   [--time-band F] [--mem-band F] [--slope-band F]
+//                                                  scale-trajectory gate:
+//                                                  fits per-family log-log
+//                                                  slopes of wall time /
+//                                                  peak RSS / peak BDD bytes
+//                                                  vs gates over
+//                                                  minpower.bench_trajectory
+//                                                  .v1 points (bench_flow
+//                                                  --scale/--append), and
+//                                                  with --baseline enforces
+//                                                  per-point ratio bands and
+//                                                  slope bands
+//                                                  (minpower.trend.v1)
 //   minpower serve  [--port N] [--host H] [--workers N] [--deadline-ms T]
 //                   [--bdd-limit N] [--idle-timeout-ms T]
 //                   [--genlib lib.genlib] [--verbose]
@@ -80,8 +95,8 @@
 //
 // Exit codes: 0 = success; 2 = completed with partial/degraded results
 // (some flow tasks degraded or failed, or verification found failures);
-// 3 = `compare` found a regression; 1 = fatal error (bad usage, unreadable
-// input, internal error).
+// 3 = `compare` or `trend` found a regression; 1 = fatal error (bad usage,
+// unreadable input, internal error).
 
 #include <chrono>
 #include <csignal>
@@ -109,6 +124,7 @@
 #include "power/simulate.hpp"
 #include "prob/sequential.hpp"
 #include "report/baseline.hpp"
+#include "report/trend.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "shard/supervisor.hpp"
@@ -152,9 +168,14 @@ struct Args {
   int top = 10;               // profile hotspot rows
   double qor_rel_tol = 0.0;   // compare: exact QoR lock by default
   double qor_abs_tol = 0.0;
-  double time_band = 0.20;    // compare: allowed slowdown (+20%)
+  double time_band = 0.20;    // compare/trend: allowed slowdown (+20%)
   bool require_all = false;   // compare: missing cells are regressions
   bool qor_only = false;      // compare: skip the metrics-registry block
+  std::optional<std::string> baseline;  // trend: reference trajectory
+  double mem_band = 0.25;     // trend: allowed per-point memory growth
+  double slope_band = 0.15;   // trend: allowed fitted-slope increase
+  std::size_t mem_limit_mb = 0;  // flow --shards: per-worker RSS watermark
+  std::size_t map_curve_cap = 0;  // flow: per-node mapper curve width cap
   int port = -1;              // serve/client: -1 = unset (serve → ephemeral)
   std::string host = "127.0.0.1";
   unsigned workers = 4;       // serve: request worker threads
@@ -214,6 +235,14 @@ Args parse_args(int argc, char** argv, int first) {
       a.time_band = std::stod(value("--time-band"));
     else if (arg == "--require-all") a.require_all = true;
     else if (arg == "--qor-only") a.qor_only = true;
+    else if (arg == "--baseline") a.baseline = value("--baseline");
+    else if (arg == "--mem-band") a.mem_band = std::stod(value("--mem-band"));
+    else if (arg == "--slope-band")
+      a.slope_band = std::stod(value("--slope-band"));
+    else if (arg == "--mem-limit-mb")
+      a.mem_limit_mb = std::stoull(value("--mem-limit-mb"));
+    else if (arg == "--map-curve-cap")
+      a.map_curve_cap = std::stoull(value("--map-curve-cap"));
     else if (arg == "--port") a.port = std::stoi(value("--port"));
     else if (arg == "--host") a.host = value("--host");
     else if (arg == "--workers")
@@ -454,6 +483,7 @@ int cmd_flow_sharded(const Args& a,
   so.heartbeat_timeout_ms = a.heartbeat_timeout_ms;
   so.max_circuit_retries = a.shard_retries;
   so.backoff_ms = a.backoff_ms;
+  so.mem_limit_mb = a.mem_limit_mb;
   if (a.journal) so.journal_path = *a.journal;
   if (a.resume) {
     so.resume_path = *a.resume;
@@ -465,6 +495,7 @@ int cmd_flow_sharded(const Args& a,
 
   FlowOptions flow;
   flow.task_deadline_ms = a.deadline_ms;
+  flow.max_curve_points = a.map_curve_cap;
   if (a.bdd_limit != 0) flow.bdd_node_limit = a.bdd_limit;
 
   shard::ShardRun run;
@@ -521,6 +552,7 @@ int cmd_flow(const Args& a) {
   EngineOptions eo;
   eo.num_threads = a.threads;
   eo.flow.task_deadline_ms = a.deadline_ms;
+  eo.flow.max_curve_points = a.map_curve_cap;
   eo.verbose = a.verbose;
   if (a.bdd_limit != 0) eo.flow.bdd_node_limit = a.bdd_limit;
   FlowEngine engine(lib, eo);
@@ -679,6 +711,38 @@ int cmd_compare(const Args& a) {
     std::ofstream out(*a.json);
     if (!out.good()) fatal("cannot open JSON output file " + *a.json);
     report::write_compare_json(out, r);
+  }
+  return r.regression() ? 3 : 0;
+}
+
+int cmd_trend(const Args& a) {
+  if (a.positional.empty())
+    fatal("trend needs at least one trajectory file (JSONL, schema "
+          "minpower.bench_trajectory.v1)");
+  report::TrajectoryDoc cand;
+  std::string error;
+  for (const std::string& path : a.positional)
+    if (!report::load_trajectory_file(path, &cand, &error)) fatal(error);
+  if (a.positional.size() > 1) {
+    cand.path = a.positional.front();
+    for (std::size_t i = 1; i < a.positional.size(); ++i)
+      cand.path += "+" + a.positional.at(i);
+  }
+  report::TrajectoryDoc base;
+  if (a.baseline &&
+      !report::load_trajectory_file(*a.baseline, &base, &error))
+    fatal(error);
+  report::TrendOptions o;
+  o.time_band = a.time_band;
+  o.mem_band = a.mem_band;
+  o.slope_band = a.slope_band;
+  const report::TrendReport r =
+      report::analyze_trend(cand, a.baseline ? &base : nullptr, o);
+  report::print_trend(std::cout, r);
+  if (a.json) {
+    std::ofstream out(*a.json);
+    if (!out.good()) fatal("cannot open JSON output file " + *a.json);
+    report::write_trend_json(out, r);
   }
   return r.regression() ? 3 : 0;
 }
@@ -924,7 +988,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: minpower <stats|opt|decomp|map|flow|verify|bench|"
-                 "profile|compare|serve|client> ...\n");
+                 "profile|compare|trend|serve|client> ...\n");
     return 1;
   }
   try {
@@ -939,6 +1003,7 @@ int main(int argc, char** argv) {
     if (cmd == "bench") return cmd_bench(a);
     if (cmd == "profile") return cmd_profile(a);
     if (cmd == "compare") return cmd_compare(a);
+    if (cmd == "trend") return cmd_trend(a);
     if (cmd == "serve") return cmd_serve(a);
     if (cmd == "client") return cmd_client(a);
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
